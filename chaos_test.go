@@ -1,0 +1,158 @@
+package eternal_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"eternal"
+	"eternal/internal/totem"
+)
+
+// TestChaosSoak runs a replicated register through a randomized storm of
+// replica kills, whole-node crashes and restarts, while a client keeps
+// writing. The invariant: every acknowledged write is present in the
+// history, in order, at the end — strong replica consistency through
+// arbitrary (crash-fault) failure sequences.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	rng := rand.New(rand.NewSource(2026))
+	nodes := []string{"c1", "c2", "c3", "c4"}
+	sys, err := eternal.NewSystem(eternal.SystemConfig{
+		Nodes: nodes,
+		Totem: totem.Config{
+			TokenLossTimeout: 150 * time.Millisecond,
+			JoinInterval:     10 * time.Millisecond,
+			StableFor:        25 * time.Millisecond,
+			Tick:             time.Millisecond,
+		},
+		ManagerTick:    10 * time.Millisecond,
+		DefaultTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Shutdown()
+	factory := func(oid string) eternal.Replica { return &register{} }
+	sys.RegisterFactory("Register", factory)
+	// The group lives on c1-c3; c4 hosts the client and acts as a spare.
+	err = sys.CreateGroup(eternal.GroupSpec{
+		Name: "reg", TypeName: "Register",
+		Props: eternal.Properties{Style: eternal.Active, InitialReplicas: 3, MinReplicas: 2},
+		Nodes: []string{"c1", "c2", "c3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := sys.Client("c4", "chaos-driver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	obj, err := cl.Resolve("reg")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crashed := map[string]bool{}
+	var acked []string
+	write := func(i int) {
+		v := fmt.Sprintf("w%03d", i)
+		e := eternal.NewEncoder(eternal.BigEndian)
+		e.WriteString(v)
+		if _, err := obj.InvokeTimeout("set", e.Bytes(), 20*time.Second); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		acked = append(acked, v)
+	}
+
+	const steps = 60
+	for i := 0; i < steps; i++ {
+		write(i)
+		if i%12 != 7 {
+			continue
+		}
+		// Periodically inject a fault. Never crash c4 (the client's node)
+		// and keep at least two of c1-c3 alive so a quorum of replicas
+		// and a state donor always exist.
+		candidates := []string{"c1", "c2", "c3"}
+		alive := 0
+		for _, n := range candidates {
+			if !crashed[n] {
+				alive++
+			}
+		}
+		switch {
+		case alive > 2:
+			victim := candidates[rng.Intn(len(candidates))]
+			if crashed[victim] {
+				break
+			}
+			t.Logf("step %d: crashing node %s", i, victim)
+			sys.CrashNode(victim)
+			crashed[victim] = true
+		default:
+			// Restart one crashed node; re-replication follows.
+			for _, n := range candidates {
+				if crashed[n] {
+					t.Logf("step %d: restarting node %s", i, n)
+					restarted, err := sys.RestartNode(n)
+					if err != nil {
+						t.Fatalf("restart %s: %v", n, err)
+					}
+					restarted.RegisterFactory("Register", factory)
+					crashed[n] = false
+					break
+				}
+			}
+		}
+	}
+	// Let any in-flight recovery settle, then verify the full history.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		hs, err := historyE(obj)
+		if err == nil && equalStrings(hs, acked) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("history diverged: got %d entries, want %d acked", len(hs), len(acked))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func historyE(obj *eternal.ObjectRef) ([]string, error) {
+	out, err := obj.InvokeTimeout("history", nil, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	d := eternal.NewDecoder(out, eternal.BigEndian)
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	hs := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		s, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		hs = append(hs, s)
+	}
+	return hs, nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

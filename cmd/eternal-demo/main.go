@@ -1,0 +1,237 @@
+// Command eternal-demo runs the paper's §3/§6 replication-style
+// comparison as one scripted scenario: the same workload deployed under
+// active, warm passive and cold passive replication; the primary (or one
+// replica) killed under load; the failover/recovery cost and resource
+// usage measured and tabulated — the trade-off the paper's conclusion
+// draws (active: more resources, faster recovery; passive: fewer
+// resources, slower recovery).
+//
+//	go run ./cmd/eternal-demo [-style active|warm|cold|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"eternal"
+	"eternal/internal/orb"
+	"eternal/internal/simnet"
+	"eternal/internal/totem"
+)
+
+// worker is a deterministic accumulator with a sizeable state payload.
+type worker struct {
+	mu    sync.Mutex
+	sum   int64
+	blob  []byte
+	calls int
+}
+
+func (w *worker) Invoke(op string, args []byte, order eternal.ByteOrder) ([]byte, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch op {
+	case "work":
+		d := eternal.NewDecoder(args, order)
+		v, err := d.ReadLongLong()
+		if err != nil {
+			return nil, err
+		}
+		w.sum += v
+		w.calls++
+		e := eternal.NewEncoder(order)
+		e.WriteLongLong(w.sum)
+		return e.Bytes(), nil
+	case "sum":
+		e := eternal.NewEncoder(order)
+		e.WriteLongLong(w.sum)
+		return e.Bytes(), nil
+	default:
+		return nil, orb.BadOperation()
+	}
+}
+
+func (w *worker) GetState() (eternal.Any, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	e := eternal.NewEncoder(eternal.BigEndian)
+	e.WriteLongLong(w.sum)
+	e.WriteOctetSeq(w.blob)
+	return eternal.AnyFromBytes(e.Bytes()), nil
+}
+
+func (w *worker) SetState(st eternal.Any) error {
+	raw, err := st.Bytes()
+	if err != nil {
+		return eternal.ErrInvalidState
+	}
+	d := eternal.NewDecoder(raw, eternal.BigEndian)
+	sum, err := d.ReadLongLong()
+	if err != nil {
+		return eternal.ErrInvalidState
+	}
+	blob, err := d.ReadOctetSeq()
+	if err != nil {
+		return eternal.ErrInvalidState
+	}
+	w.mu.Lock()
+	w.sum, w.blob = sum, blob
+	w.mu.Unlock()
+	return nil
+}
+
+type result struct {
+	style        string
+	failoverMS   float64
+	redundancyMS float64
+	framesPerInv float64
+}
+
+func main() {
+	styleArg := flag.String("style", "all", "active|warm|cold|all")
+	flag.Parse()
+
+	styles := map[string]eternal.ReplicationStyle{
+		"active": eternal.Active, "warm": eternal.WarmPassive, "cold": eternal.ColdPassive,
+	}
+	var order []string
+	if *styleArg == "all" {
+		order = []string{"active", "warm", "cold"}
+	} else {
+		if _, ok := styles[*styleArg]; !ok {
+			log.Fatalf("unknown style %q", *styleArg)
+		}
+		order = []string{*styleArg}
+	}
+
+	var results []result
+	for _, name := range order {
+		fmt.Printf("=== %s replication ===\n", name)
+		results = append(results, runScenario(name, styles[name]))
+		fmt.Println()
+	}
+
+	fmt.Println("summary (paper §6: active = more resources / faster recovery;")
+	fmt.Println("         passive = fewer resources / slower recovery)")
+	fmt.Printf("%-8s %16s %18s %18s\n", "style", "failover (ms)", "redundancy (ms)", "frames/invocation")
+	for _, r := range results {
+		fmt.Printf("%-8s %16.2f %18.2f %18.1f\n", r.style, r.failoverMS, r.redundancyMS, r.framesPerInv)
+	}
+}
+
+func runScenario(name string, style eternal.ReplicationStyle) result {
+	sys, err := eternal.NewSystem(eternal.SystemConfig{
+		Nodes: []string{"n1", "n2", "n3"},
+		Network: simnet.Config{
+			BandwidthBps: 100_000_000,
+			Latency:      50 * time.Microsecond,
+		},
+		Totem: totem.Config{
+			TokenLossTimeout: 200 * time.Millisecond,
+			JoinInterval:     10 * time.Millisecond,
+			StableFor:        20 * time.Millisecond,
+			Tick:             time.Millisecond,
+		},
+		ManagerTick:    5 * time.Millisecond,
+		DefaultTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Shutdown()
+	sys.RegisterFactory("Worker", func(oid string) eternal.Replica {
+		return &worker{blob: make([]byte, 50_000)}
+	})
+	props := eternal.Properties{Style: style, InitialReplicas: 2, MinReplicas: 2}
+	if style != eternal.Active {
+		// A long interval leaves a substantial message log at failover
+		// time, which the promoted backup must replay (paper §3.3).
+		props.CheckpointInterval = 2 * time.Second
+	}
+	if err := sys.CreateGroup(eternal.GroupSpec{
+		Name: "w", TypeName: "Worker", Props: props, Nodes: []string{"n1", "n2"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	cl, err := sys.Client("n3", "driver")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	obj, err := cl.Resolve("w")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	work := func() error {
+		e := eternal.NewEncoder(eternal.BigEndian)
+		e.WriteLongLong(1)
+		_, err := obj.InvokeTimeout("work", e.Bytes(), 10*time.Second)
+		return err
+	}
+
+	// Phase 1: traffic covered by a checkpoint (passive styles).
+	const phase1, phase2 = 30, 150
+	pre := sys.Network().Stats()
+	for i := 0; i < phase1; i++ {
+		if err := work(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	post := sys.Network().Stats()
+	framesPerInv := float64(post.FramesSent-pre.FramesSent) / phase1
+	time.Sleep(400 * time.Millisecond) // let the checkpoint land
+	// Phase 2: traffic logged since that checkpoint — what a promoted
+	// backup has to replay.
+	for i := 0; i < phase2; i++ {
+		if err := work(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Kill the replica on n1 (the primary under passive styles) and
+	// measure the time until the next successful reply.
+	fmt.Printf("killing the replica on n1 (%d invocations logged since the last checkpoint) ...\n", phase2)
+	start := time.Now()
+	if err := sys.Node("n1").KillReplica("w", 30*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	for {
+		if err := work(); err != nil {
+			continue
+		}
+		break
+	}
+	failover := time.Since(start)
+	fmt.Printf("first reply after failure: %v\n", failover.Round(time.Microsecond))
+
+	// Time to restore full redundancy (MinReplicas = 2, so the Resource
+	// Manager re-replicates onto n1 automatically).
+	if err := sys.Node("n2").AwaitRecovered("w", "n1", 60*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	redundancy := time.Since(start)
+	fmt.Printf("full redundancy restored: %v\n", redundancy.Round(time.Microsecond))
+
+	out, err := obj.Invoke("sum", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := eternal.NewDecoder(out, eternal.BigEndian)
+	sum, _ := d.ReadLongLong()
+	want := int64(phase1 + phase2 + 1)
+	fmt.Printf("state after failover: sum=%d (want %d)\n", sum, want)
+	if sum != want {
+		log.Fatalf("%s: state diverged after failover", name)
+	}
+	return result{
+		style:        name,
+		failoverMS:   float64(failover.Microseconds()) / 1000,
+		redundancyMS: float64(redundancy.Microseconds()) / 1000,
+		framesPerInv: framesPerInv,
+	}
+}

@@ -1,0 +1,177 @@
+// Command eternald runs one Eternal node as an operating-system process,
+// communicating with its peers over UDP — the deployment shape of the
+// paper's testbed, one daemon per workstation.
+//
+// A three-node domain on one machine:
+//
+//	eternald -name n1 -listen 127.0.0.1:7001 -peers n2=127.0.0.1:7002,n3=127.0.0.1:7003 \
+//	         -create demo -replicas n1,n2,n3
+//	eternald -name n2 -listen 127.0.0.1:7002 -peers n1=127.0.0.1:7001,n3=127.0.0.1:7003
+//	eternald -name n3 -listen 127.0.0.1:7003 -peers n1=127.0.0.1:7001,n2=127.0.0.1:7002
+//
+// Add -drive to run a demo client against the group from this process
+// (invocations stream through the full interception + multicast stack).
+// Every node registers the demo "Register" replica type.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"eternal"
+	"eternal/internal/orb"
+	"eternal/internal/totem"
+)
+
+// registerReplica is the demo type every eternald hosts.
+type registerReplica struct {
+	val string
+}
+
+func (r *registerReplica) Invoke(op string, args []byte, order eternal.ByteOrder) ([]byte, error) {
+	switch op {
+	case "set":
+		d := eternal.NewDecoder(args, order)
+		s, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		r.val = s
+		return nil, nil
+	case "get":
+		e := eternal.NewEncoder(order)
+		e.WriteString(r.val)
+		return e.Bytes(), nil
+	default:
+		return nil, orb.BadOperation()
+	}
+}
+
+func (r *registerReplica) GetState() (eternal.Any, error) {
+	return eternal.AnyFromString(r.val), nil
+}
+
+func (r *registerReplica) SetState(st eternal.Any) error {
+	s, ok := st.Value.(string)
+	if !ok {
+		return eternal.ErrInvalidState
+	}
+	r.val = s
+	return nil
+}
+
+func main() {
+	var (
+		name     = flag.String("name", "", "this node's unique name (required)")
+		listen   = flag.String("listen", "127.0.0.1:7001", "UDP listen address")
+		peersArg = flag.String("peers", "", "comma-separated peer list: name=host:port,...")
+		create   = flag.String("create", "", "create this replicated group after joining")
+		replicas = flag.String("replicas", "", "comma-separated placement nodes for -create")
+		style    = flag.String("style", "active", "replication style for -create: active|warm|cold")
+		drive    = flag.Bool("drive", false, "run a demo client loop against the -create group")
+		verbose  = flag.Bool("v", false, "log mechanism events (state transfers, failovers)")
+	)
+	flag.Parse()
+	if *name == "" {
+		log.Fatal("eternald: -name is required")
+	}
+
+	peers := make(map[string]string)
+	if *peersArg != "" {
+		for _, kv := range strings.Split(*peersArg, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				log.Fatalf("eternald: bad -peers entry %q", kv)
+			}
+			peers[k] = v
+		}
+	}
+
+	tr, err := totem.NewUDPTransport(*name, *listen, peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodeCfg := eternal.NodeConfig{Transport: tr}
+	if *verbose {
+		nodeCfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	node, err := eternal.StartNode(nodeCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Stop()
+	node.RegisterFactory("Register", func(oid string) eternal.Replica { return &registerReplica{} })
+
+	log.Printf("eternald %s listening on %s, %d peers", *name, *listen, len(peers))
+	if err := node.AwaitSynced(30 * time.Second); err != nil {
+		log.Fatalf("never synchronized with the domain: %v", err)
+	}
+	log.Printf("%s synchronized with the domain", *name)
+
+	if *create != "" {
+		nodes := strings.Split(*replicas, ",")
+		props := eternal.Properties{
+			Style:           map[string]eternal.ReplicationStyle{"active": eternal.Active, "warm": eternal.WarmPassive, "cold": eternal.ColdPassive}[*style],
+			InitialReplicas: len(nodes),
+			MinReplicas:     1,
+		}
+		if props.Style != eternal.Active {
+			props.CheckpointInterval = time.Second
+		}
+		err := node.CreateGroup(eternal.GroupSpec{
+			Name: *create, TypeName: "Register", Props: props, Nodes: nodes,
+		}, 30*time.Second)
+		if err != nil {
+			log.Fatalf("creating group %q: %v", *create, err)
+		}
+		log.Printf("created group %q (%s) on %v", *create, props.Style, nodes)
+	}
+
+	if *drive && *create != "" {
+		go driveClient(node, *create)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("%s shutting down", *name)
+}
+
+func driveClient(node *eternal.Node, group string) {
+	o := node.ClientORB("eternald-driver", orb.Options{RequestTimeout: 10 * time.Second})
+	defer o.Close()
+	ref, err := node.GroupIOR(group)
+	if err != nil {
+		log.Printf("driver: %v", err)
+		return
+	}
+	obj, err := o.Object(ref)
+	if err != nil {
+		log.Printf("driver: %v", err)
+		return
+	}
+	for i := 0; ; i++ {
+		e := eternal.NewEncoder(eternal.BigEndian)
+		e.WriteString(fmt.Sprintf("beat-%d", i))
+		if _, err := obj.Invoke("set", e.Bytes()); err != nil {
+			log.Printf("driver: set: %v", err)
+		} else if i%10 == 0 {
+			out, err := obj.Invoke("get", nil)
+			if err != nil {
+				log.Printf("driver: get: %v", err)
+			} else {
+				d := eternal.NewDecoder(out, eternal.BigEndian)
+				s, _ := d.ReadString()
+				log.Printf("driver: value=%q", s)
+			}
+		}
+		time.Sleep(time.Second)
+	}
+}

@@ -1,0 +1,54 @@
+// Command idlgen compiles an OMG IDL module into Go: struct and exception
+// types with CDR marshaling, typed client stubs, and servant skeletons —
+// the role the ORB vendor's IDL compiler plays in a CORBA toolchain.
+//
+//	idlgen -in bank.idl -pkg bankidl -out bank_gen.go
+//
+// See internal/idl for the supported IDL subset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/format"
+	"log"
+	"os"
+
+	"eternal/internal/idl"
+)
+
+func main() {
+	in := flag.String("in", "", "input .idl file (required)")
+	pkg := flag.String("pkg", "", "Go package name for the output (required)")
+	out := flag.String("out", "", "output .go file (default stdout)")
+	flag.Parse()
+	if *in == "" || *pkg == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	module, err := idl.Parse(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	code, err := idl.Generate(module, *pkg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	formatted, err := format.Source(code)
+	if err != nil {
+		// Emit the unformatted code to ease debugging, but fail.
+		os.Stderr.Write(code)
+		log.Fatalf("generated code does not parse: %v", err)
+	}
+	if *out == "" {
+		fmt.Print(string(formatted))
+		return
+	}
+	if err := os.WriteFile(*out, formatted, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}

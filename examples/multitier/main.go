@@ -1,0 +1,217 @@
+// Command multitier demonstrates the paper's footnote-2 scenario: a
+// three-tier application whose middle tier is itself replicated and plays
+// both roles — server to the front-end clients, client to the storage
+// tier. Every replica of the middle tier issues the nested invocation;
+// Eternal's operation identifiers ensure the storage tier performs it
+// exactly once, and every middle replica receives the (single) reply.
+//
+// Run it with:
+//
+//	go run ./examples/multitier
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"eternal"
+	"eternal/internal/orb"
+)
+
+// Store is the storage tier: an append-only list of orders.
+type Store struct {
+	orders []string
+}
+
+// Invoke dispatches append/size.
+func (s *Store) Invoke(op string, args []byte, order eternal.ByteOrder) ([]byte, error) {
+	switch op {
+	case "append":
+		d := eternal.NewDecoder(args, order)
+		item, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		s.orders = append(s.orders, item)
+		e := eternal.NewEncoder(order)
+		e.WriteULong(uint32(len(s.orders)))
+		return e.Bytes(), nil
+	case "size":
+		e := eternal.NewEncoder(order)
+		e.WriteULong(uint32(len(s.orders)))
+		return e.Bytes(), nil
+	default:
+		return nil, orb.BadOperation()
+	}
+}
+
+// GetState marshals the order list.
+func (s *Store) GetState() (eternal.Any, error) {
+	e := eternal.NewEncoder(eternal.BigEndian)
+	e.WriteULong(uint32(len(s.orders)))
+	for _, o := range s.orders {
+		e.WriteString(o)
+	}
+	return eternal.AnyFromBytes(e.Bytes()), nil
+}
+
+// SetState restores the order list.
+func (s *Store) SetState(st eternal.Any) error {
+	raw, err := st.Bytes()
+	if err != nil {
+		return eternal.ErrInvalidState
+	}
+	d := eternal.NewDecoder(raw, eternal.BigEndian)
+	n, err := d.ReadULong()
+	if err != nil {
+		return eternal.ErrInvalidState
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		o, err := d.ReadString()
+		if err != nil {
+			return eternal.ErrInvalidState
+		}
+		out = append(out, o)
+	}
+	s.orders = out
+	return nil
+}
+
+// Gateway is the replicated middle tier: it validates an order and
+// forwards it to the store (a nested, totally-ordered invocation), and
+// counts what it processed (its own application-level state).
+type Gateway struct {
+	store     *eternal.ObjectRef
+	processed uint32
+}
+
+// Invoke dispatches the gateway operations.
+func (g *Gateway) Invoke(op string, args []byte, order eternal.ByteOrder) ([]byte, error) {
+	switch op {
+	case "order":
+		d := eternal.NewDecoder(args, order)
+		item, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		if item == "" {
+			return nil, &eternal.UserException{Name: "IDL:Shop/EmptyOrder:1.0"}
+		}
+		g.processed++
+		// Nested invocation into the storage tier. Every gateway replica
+		// performs it; the store sees it once.
+		e := eternal.NewEncoder(eternal.BigEndian)
+		e.WriteString(fmt.Sprintf("order-%d:%s", g.processed, item))
+		return g.store.Invoke("append", e.Bytes())
+	case "processed":
+		e := eternal.NewEncoder(order)
+		e.WriteULong(g.processed)
+		return e.Bytes(), nil
+	default:
+		return nil, orb.BadOperation()
+	}
+}
+
+// GetState is the gateway's own state: its processed counter.
+func (g *Gateway) GetState() (eternal.Any, error) {
+	return eternal.AnyFromLong(int32(g.processed)), nil
+}
+
+// SetState restores the counter.
+func (g *Gateway) SetState(st eternal.Any) error {
+	v, ok := st.Value.(int32)
+	if !ok {
+		return eternal.ErrInvalidState
+	}
+	g.processed = uint32(v)
+	return nil
+}
+
+func main() {
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	sys, err := eternal.NewSystem(eternal.SystemConfig{Nodes: nodes})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Shutdown()
+
+	// Storage tier on n1+n2.
+	sys.RegisterFactory("Store", func(oid string) eternal.Replica { return &Store{} })
+	err = sys.CreateGroup(eternal.GroupSpec{
+		Name: "store", TypeName: "Store",
+		Props: eternal.Properties{Style: eternal.Active, InitialReplicas: 2, MinReplicas: 1},
+		Nodes: []string{"n1", "n2"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Middle tier on n2+n3: the factory gives each node's replicas a
+	// client attachment whose entity name is the group name, so the
+	// replicas' nested invocations pair up for duplicate suppression.
+	for _, addr := range []string{"n2", "n3"} {
+		node := sys.Node(addr)
+		cl, err := sys.Client(addr, "gateway")
+		if err != nil {
+			log.Fatal(err)
+		}
+		node.RegisterFactory("Gateway", func(oid string) eternal.Replica {
+			store, err := cl.Resolve("store")
+			if err != nil {
+				panic(err)
+			}
+			return &Gateway{store: store}
+		})
+	}
+	err = sys.CreateGroup(eternal.GroupSpec{
+		Name: "gateway", TypeName: "Gateway",
+		Props: eternal.Properties{Style: eternal.Active, InitialReplicas: 2, MinReplicas: 1},
+		Nodes: []string{"n2", "n3"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Front-end client on n4.
+	client, err := sys.Client("n4", "shopper")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	gw, err := client.Resolve("gateway")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	placeOrder := func(item string) uint32 {
+		e := eternal.NewEncoder(eternal.BigEndian)
+		e.WriteString(item)
+		out, err := gw.Invoke("order", e.Bytes())
+		if err != nil {
+			log.Fatalf("order(%s): %v", item, err)
+		}
+		d := eternal.NewDecoder(out, eternal.BigEndian)
+		n, _ := d.ReadULong()
+		return n
+	}
+
+	for i, item := range []string{"espresso", "flat-white", "cortado", "mocha", "ristretto"} {
+		size := placeOrder(item)
+		fmt.Printf("order %d (%s) -> store size %d\n", i+1, item, size)
+		if size != uint32(i+1) {
+			log.Fatalf("store size %d after %d orders: nested invocations duplicated or lost", size, i+1)
+		}
+	}
+
+	// Kill a middle-tier replica mid-stream: the other one keeps relaying.
+	fmt.Println("killing the gateway replica on n3 ...")
+	if err := sys.Node("n3").KillReplica("gateway", 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	if size := placeOrder("affogato"); size != 6 {
+		log.Fatalf("store size %d after failover order", size)
+	}
+	fmt.Println("order placed through the surviving gateway replica; store consistent")
+}

@@ -1,0 +1,3 @@
+module eternal
+
+go 1.23

@@ -1,0 +1,322 @@
+package cdr
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlignmentPadding(t *testing.T) {
+	e := NewEncoder(BigEndian)
+	e.WriteOctet(0xAA)
+	e.WriteULong(7)
+	got := e.Bytes()
+	want := []byte{0xAA, 0, 0, 0, 0, 0, 0, 7}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encoded = % x, want % x", got, want)
+	}
+}
+
+func TestAlignmentAllSizes(t *testing.T) {
+	e := NewEncoder(BigEndian)
+	e.WriteOctet(1)     // offset 0
+	e.WriteUShort(2)    // pads to 2
+	e.WriteOctet(3)     // offset 4
+	e.WriteULong(4)     // pads to 8
+	e.WriteOctet(5)     // offset 12
+	e.WriteULongLong(6) // pads to 16
+	if e.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", e.Len())
+	}
+	d := NewDecoder(e.Bytes(), BigEndian)
+	if v, _ := d.ReadOctet(); v != 1 {
+		t.Errorf("octet = %d", v)
+	}
+	if v, _ := d.ReadUShort(); v != 2 {
+		t.Errorf("ushort = %d", v)
+	}
+	if v, _ := d.ReadOctet(); v != 3 {
+		t.Errorf("octet = %d", v)
+	}
+	if v, _ := d.ReadULong(); v != 4 {
+		t.Errorf("ulong = %d", v)
+	}
+	if v, _ := d.ReadOctet(); v != 5 {
+		t.Errorf("octet = %d", v)
+	}
+	if v, _ := d.ReadULongLong(); v != 6 {
+		t.Errorf("ulonglong = %d", v)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "a", "hello world", "naïve ☃"} {
+		e := NewEncoder(LittleEndian)
+		e.WriteString(s)
+		d := NewDecoder(e.Bytes(), LittleEndian)
+		got, err := d.ReadString()
+		if err != nil {
+			t.Fatalf("ReadString(%q): %v", s, err)
+		}
+		if got != s {
+			t.Errorf("round trip %q = %q", s, got)
+		}
+	}
+}
+
+func TestStringWireFormat(t *testing.T) {
+	e := NewEncoder(BigEndian)
+	e.WriteString("hi")
+	want := []byte{0, 0, 0, 3, 'h', 'i', 0}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Fatalf("encoded = % x, want % x", e.Bytes(), want)
+	}
+}
+
+func TestStringMissingNUL(t *testing.T) {
+	d := NewDecoder([]byte{0, 0, 0, 2, 'h', 'i'}, BigEndian)
+	if _, err := d.ReadString(); err != ErrInvalidString {
+		t.Fatalf("err = %v, want ErrInvalidString", err)
+	}
+}
+
+func TestStringZeroLengthTolerated(t *testing.T) {
+	d := NewDecoder([]byte{0, 0, 0, 0}, BigEndian)
+	s, err := d.ReadString()
+	if err != nil || s != "" {
+		t.Fatalf("got %q, %v; want empty, nil", s, err)
+	}
+}
+
+func TestTruncatedReads(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(*Decoder) error
+	}{
+		{"octet", func(d *Decoder) error { _, err := d.ReadOctet(); return err }},
+		{"ushort", func(d *Decoder) error { _, err := d.ReadUShort(); return err }},
+		{"ulong", func(d *Decoder) error { _, err := d.ReadULong(); return err }},
+		{"ulonglong", func(d *Decoder) error { _, err := d.ReadULongLong(); return err }},
+		{"string", func(d *Decoder) error { _, err := d.ReadString(); return err }},
+		{"octetseq", func(d *Decoder) error { _, err := d.ReadOctetSeq(); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewDecoder(nil, BigEndian)
+			if err := tc.f(d); err == nil {
+				t.Fatal("expected error on empty stream")
+			}
+		})
+	}
+}
+
+func TestLengthOverflow(t *testing.T) {
+	// Declared length 100 with only 2 bytes remaining.
+	d := NewDecoder([]byte{0, 0, 0, 100, 1, 2}, BigEndian)
+	if _, err := d.ReadOctetSeq(); err != ErrLengthOverflow {
+		t.Fatalf("err = %v, want ErrLengthOverflow", err)
+	}
+}
+
+func TestBothEndian(t *testing.T) {
+	for _, order := range []ByteOrder{BigEndian, LittleEndian} {
+		e := NewEncoder(order)
+		e.WriteULong(0x01020304)
+		d := NewDecoder(e.Bytes(), order)
+		v, err := d.ReadULong()
+		if err != nil || v != 0x01020304 {
+			t.Fatalf("%v: got %#x, %v", order, v, err)
+		}
+	}
+	// Big-endian byte layout check.
+	e := NewEncoder(BigEndian)
+	e.WriteULong(0x01020304)
+	if !bytes.Equal(e.Bytes(), []byte{1, 2, 3, 4}) {
+		t.Fatalf("big-endian bytes = % x", e.Bytes())
+	}
+	e = NewEncoder(LittleEndian)
+	e.WriteULong(0x01020304)
+	if !bytes.Equal(e.Bytes(), []byte{4, 3, 2, 1}) {
+		t.Fatalf("little-endian bytes = % x", e.Bytes())
+	}
+}
+
+func TestEncapsulationRoundTrip(t *testing.T) {
+	e := NewEncoder(BigEndian)
+	e.WriteOctet(0xFF) // misalign the outer stream on purpose
+	e.WriteEncapsulation(LittleEndian, func(inner *Encoder) {
+		inner.WriteULong(42)
+		inner.WriteString("nested")
+	})
+	d := NewDecoder(e.Bytes(), BigEndian)
+	if _, err := d.ReadOctet(); err != nil {
+		t.Fatal(err)
+	}
+	inner, err := d.ReadEncapsulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.Order() != LittleEndian {
+		t.Fatalf("inner order = %v", inner.Order())
+	}
+	v, err := inner.ReadULong()
+	if err != nil || v != 42 {
+		t.Fatalf("ulong = %d, %v", v, err)
+	}
+	s, err := inner.ReadString()
+	if err != nil || s != "nested" {
+		t.Fatalf("string = %q, %v", s, err)
+	}
+}
+
+func TestEmptyEncapsulation(t *testing.T) {
+	if _, err := NewEncapsulationDecoder(nil); err == nil {
+		t.Fatal("expected error for empty encapsulation")
+	}
+}
+
+func TestULongSeqRoundTrip(t *testing.T) {
+	in := []uint32{0, 1, math.MaxUint32, 7}
+	e := NewEncoder(BigEndian)
+	e.WriteULongSeq(in)
+	d := NewDecoder(e.Bytes(), BigEndian)
+	out, err := d.ReadULongSeq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], in[i])
+		}
+	}
+}
+
+func TestFloatDoubleRoundTrip(t *testing.T) {
+	e := NewEncoder(BigEndian)
+	e.WriteFloat(3.5)
+	e.WriteDouble(-1.25e100)
+	e.WriteDouble(math.Inf(1))
+	d := NewDecoder(e.Bytes(), BigEndian)
+	if v, _ := d.ReadFloat(); v != 3.5 {
+		t.Errorf("float = %v", v)
+	}
+	if v, _ := d.ReadDouble(); v != -1.25e100 {
+		t.Errorf("double = %v", v)
+	}
+	if v, _ := d.ReadDouble(); !math.IsInf(v, 1) {
+		t.Errorf("inf double = %v", v)
+	}
+}
+
+// Property: any sequence of primitive writes decodes to the same values in
+// the same order, in both byte orders.
+func TestQuickPrimitiveRoundTrip(t *testing.T) {
+	f := func(a uint32, b uint16, c uint64, s string, oct []byte, le bool) bool {
+		order := BigEndian
+		if le {
+			order = LittleEndian
+		}
+		e := NewEncoder(order)
+		e.WriteULong(a)
+		e.WriteUShort(b)
+		e.WriteULongLong(c)
+		e.WriteString(s)
+		e.WriteOctetSeq(oct)
+		d := NewDecoder(e.Bytes(), order)
+		ga, err := d.ReadULong()
+		if err != nil || ga != a {
+			return false
+		}
+		gb, err := d.ReadUShort()
+		if err != nil || gb != b {
+			return false
+		}
+		gc, err := d.ReadULongLong()
+		if err != nil || gc != c {
+			return false
+		}
+		gs, err := d.ReadString()
+		if err != nil || gs != s {
+			return false
+		}
+		go_, err := d.ReadOctetSeq()
+		if err != nil || !bytes.Equal(go_, oct) {
+			return false
+		}
+		return d.Remaining() == 0
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoder never panics on arbitrary input.
+func TestQuickDecoderNoPanic(t *testing.T) {
+	f := func(buf []byte, le bool) bool {
+		order := BigEndian
+		if le {
+			order = LittleEndian
+		}
+		d := NewDecoder(buf, order)
+		for d.Remaining() > 0 {
+			if _, err := d.ReadString(); err != nil {
+				break
+			}
+		}
+		d = NewDecoder(buf, order)
+		for d.Remaining() > 0 {
+			if _, err := d.ReadULongSeq(); err != nil {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignedRoundTrip(t *testing.T) {
+	e := NewEncoder(LittleEndian)
+	e.WriteShort(-2)
+	e.WriteLong(-100000)
+	e.WriteLongLong(-1 << 40)
+	d := NewDecoder(e.Bytes(), LittleEndian)
+	if v, _ := d.ReadShort(); v != -2 {
+		t.Errorf("short = %d", v)
+	}
+	if v, _ := d.ReadLong(); v != -100000 {
+		t.Errorf("long = %d", v)
+	}
+	if v, _ := d.ReadLongLong(); v != -1<<40 {
+		t.Errorf("longlong = %d", v)
+	}
+}
+
+func TestBooleanRoundTrip(t *testing.T) {
+	e := NewEncoder(BigEndian)
+	e.WriteBoolean(true)
+	e.WriteBoolean(false)
+	d := NewDecoder(e.Bytes(), BigEndian)
+	if v, _ := d.ReadBoolean(); !v {
+		t.Error("want true")
+	}
+	if v, _ := d.ReadBoolean(); v {
+		t.Error("want false")
+	}
+}
+
+func BenchmarkEncodePrimitive(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder(BigEndian)
+		e.WriteULong(uint32(i))
+		e.WriteString("benchmark")
+		e.WriteULongLong(uint64(i))
+	}
+}

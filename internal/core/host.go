@@ -1,0 +1,598 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"eternal/internal/cdr"
+	"eternal/internal/faultdetect"
+	"eternal/internal/ftcorba"
+	"eternal/internal/giop"
+	"eternal/internal/interceptor"
+	"eternal/internal/orb"
+	"eternal/internal/recovery"
+	"eternal/internal/replication"
+)
+
+// itemKind discriminates dispatcher work items.
+type itemKind int
+
+const (
+	// itemRequest is a delivered client invocation.
+	itemRequest itemKind = iota
+	// itemCapture runs get_state() on this replica and multicasts the
+	// resulting set_state (this node is the donor/primary).
+	itemCapture
+	// itemApplyCheckpoint applies a delivered checkpoint to a passive
+	// backup (warm: set_state into the instance; cold: log only).
+	itemApplyCheckpoint
+	// itemPromote turns a passive backup into the primary: instantiate if
+	// cold, then replay the log (paper §3.2, §3.3).
+	itemPromote
+	// itemCheckpointMark records, at a state-capture marker's position in
+	// the total order, how much of the backup's log the coming checkpoint
+	// will subsume. Messages logged after the mark survive the
+	// checkpoint's log GC (§3.3: the log holds the messages that follow
+	// the checkpoint — its capture point, not its delivery).
+	itemCheckpointMark
+)
+
+// dispatchItem is one unit of ordered work for a replica's dispatcher.
+// The routing decision (execute / log) is taken by the delivery loop at
+// the item's position in the total order, so it is identical at every
+// node regardless of dispatcher progress.
+type dispatchItem struct {
+	kind itemKind
+	env  *replication.Envelope
+	// execute: run the invocation through the replica (active member, or
+	// passive primary). When false for itemRequest, the invocation is
+	// logged instead (passive backup).
+	execute bool
+	// bundle for itemApplyCheckpoint.
+	bundle *recovery.Bundle
+	// xferID for itemCapture.
+	xferID uint64
+	// checkpoint marks an itemCapture triggered by the periodic
+	// checkpointing of passive replication rather than a recovery.
+	checkpoint bool
+}
+
+// injection is one logical client connection injected into the replica's
+// unmodified server ORB through a buffered in-memory pipe.
+type injection struct {
+	mech   net.Conn
+	reader *giop.Reader
+}
+
+// replicaHost is everything one node keeps for one local replica (or, for
+// a cold-passive backup, for its log): the Recovery Mechanisms state of
+// paper §4.3, the serial dispatcher that yields quiescence between
+// operations (§5), and the enqueue-while-recovering behaviour of §3.3.
+type replicaHost struct {
+	node  *Node
+	group string
+	style ftcorba.ReplicationStyle
+
+	q    *queue[dispatchItem]
+	done chan struct{}
+
+	// recovering hosts hold their queue until the state bundle arrives
+	// (the paper's Figure 5: the get_state marker heads the queue and the
+	// set_state overwrites it).
+	recovering bool
+	stateCh    chan *recovery.Bundle
+
+	// Instance side (nil replica for cold-passive backups).
+	replica ftcorba.Replica
+	srv     *orb.Server
+
+	// mu guards the maps below: the dispatcher owns them in steady state,
+	// but donors snapshot them during capture while egress goroutines are
+	// quiet, and tests inspect them.
+	mu         sync.Mutex
+	conns      map[replication.ConnID]*injection
+	handshakes map[replication.ConnID][][]byte
+	lastReqID  map[replication.ConnID]uint32
+
+	// reqFilter suppresses duplicate invocations (infrastructure-level
+	// state, §4.3).
+	reqFilter *replication.DupFilter
+
+	// log is the checkpoint+message log of §3.3 (passive members).
+	log *recovery.Log
+	// ckptMarks maps a pending capture's transfer id to the log length at
+	// its marker position (see itemCheckpointMark).
+	ckptMarks map[uint64]int
+
+	// internalID numbers the synthetic get_state/set_state invocations.
+	internalID uint32
+
+	// monitor pull-monitors the replica at its FaultMonitoringInterval.
+	monitor *faultdetect.Monitor
+	// probeMu serializes liveness probes on their dedicated connection
+	// (the dispatcher's internal connection stays undisturbed).
+	probeMu sync.Mutex
+	probeID uint32
+
+	// disableORBStateTransfer reproduces the §4.2 failure modes for the
+	// paper's Figure 4 / handshake experiments: only application-level
+	// state is transferred.
+	disableORBStateTransfer bool
+}
+
+func newReplicaHost(n *Node, group string, style ftcorba.ReplicationStyle, withInstance, recovering bool) (*replicaHost, error) {
+	h := &replicaHost{
+		node:       n,
+		group:      group,
+		style:      style,
+		q:          newQueue[dispatchItem](),
+		done:       make(chan struct{}),
+		recovering: recovering,
+		stateCh:    make(chan *recovery.Bundle, 1),
+		conns:      make(map[replication.ConnID]*injection),
+		handshakes: make(map[replication.ConnID][][]byte),
+		lastReqID:  make(map[replication.ConnID]uint32),
+		reqFilter:  replication.NewDupFilter(),
+		log:        recovery.NewLog(),
+		ckptMarks:  make(map[uint64]int),
+	}
+	if withInstance {
+		if err := h.instantiate(); err != nil {
+			return nil, err
+		}
+	}
+	// The dispatcher takes the initial recovering mode as a parameter;
+	// the struct field itself is owned by the node's delivery loop.
+	go h.run(recovering)
+	return h, nil
+}
+
+// instantiate creates the replica object via its registered factory and
+// stands up its private server ORB.
+func (h *replicaHost) instantiate() error {
+	factory, ok := h.node.factory(h.groupType())
+	if !ok {
+		return fmt.Errorf("core: node %s has no factory for type %q (group %s)",
+			h.node.addr, h.groupType(), h.group)
+	}
+	h.replica = factory(h.group)
+	h.srv = orb.NewServer(orb.ServerOptions{})
+	h.srv.RootPOA().Activate(h.group, ftcorba.Servant(h.replica))
+	return nil
+}
+
+func (h *replicaHost) groupType() string {
+	return h.node.groupTypeName(h.group)
+}
+
+// run is the dispatcher: one item at a time, in total order. Because the
+// replica performs at most one operation at any moment, it is quiescent
+// between items — which is when get_state may run (paper §5).
+func (h *replicaHost) run(recovering bool) {
+	if recovering {
+		// Figure 5 steps (i)–(v): hold the queue until set_state arrives,
+		// apply the three kinds of state, then drain.
+		select {
+		case bundle := <-h.stateCh:
+			h.applyState(bundle)
+			h.node.signal(recoveredKey(h.group, h.node.addr))
+		case <-h.done:
+			return
+		}
+	}
+	for {
+		item, ok := h.q.pop()
+		if !ok {
+			return
+		}
+		h.process(item)
+	}
+}
+
+func (h *replicaHost) process(item dispatchItem) {
+	switch item.kind {
+	case itemRequest:
+		if item.execute {
+			h.executeRequest(item.env, false)
+		} else {
+			h.log.Append(item.env)
+			h.node.counters.requestsLogged.Add(1)
+		}
+	case itemCapture:
+		h.capture(item.xferID)
+	case itemApplyCheckpoint:
+		h.applyCheckpoint(item.bundle, item.xferID)
+	case itemPromote:
+		h.promote()
+	case itemCheckpointMark:
+		h.ckptMarks[item.xferID] = h.log.Len()
+	}
+}
+
+// executeRequest injects one invocation into the replica's ORB and
+// multicasts the reply. force bypasses duplicate suppression during log
+// replay (the log was already deduplicated when written).
+func (h *replicaHost) executeRequest(env *replication.Envelope, force bool) {
+	first := h.reqFilter.FirstDelivery(env.Conn, env.OpID)
+	if !first && !force {
+		h.node.counters.duplicatesSuppressed.Add(1)
+		return // duplicate invocation from another client replica (§2.1)
+	}
+	h.node.counters.requestsExecuted.Add(1)
+	msg, err := giop.ReadMessage(bytes.NewReader(env.Payload))
+	if err != nil {
+		return
+	}
+	inj := h.injectionFor(env.Conn)
+	h.recordORBState(env, msg)
+
+	if _, err := msg.WriteTo(inj.mech); err != nil {
+		return
+	}
+	if env.Oneway {
+		return
+	}
+	// Bound the wait: a server ORB that discards the request (e.g. an
+	// unnegotiated short key, §4.2.2) sends nothing back. No reply is
+	// multicast then — the "client waits forever" symptom the recovery of
+	// ORB-level state exists to prevent — but the dispatcher itself must
+	// move on.
+	inj.mech.SetReadDeadline(time.Now().Add(h.node.replyTimeout()))
+	defer inj.mech.SetReadDeadline(time.Time{})
+	for {
+		rep, err := inj.reader.Next()
+		if err != nil {
+			return
+		}
+		if rep.Type == giop.MsgReply {
+			h.node.multicast(&replication.Envelope{
+				Kind:    replication.KReply,
+				Conn:    env.Conn,
+				OpID:    env.OpID,
+				Payload: rep.Marshal(),
+			})
+			return
+		}
+	}
+}
+
+// injectionFor returns (creating on demand) the injected connection for a
+// logical client connection.
+func (h *replicaHost) injectionFor(conn replication.ConnID) *injection {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if inj, ok := h.conns[conn]; ok {
+		return inj
+	}
+	orbEnd, mechEnd := interceptor.Pipe()
+	go h.srv.ServeConn(orbEnd)
+	inj := &injection{mech: mechEnd, reader: giop.NewReader(mechEnd)}
+	h.conns[conn] = inj
+	return inj
+}
+
+// recordORBState keeps the per-connection ORB/POA-level state the paper's
+// mechanisms learn by watching the stream: handshake-carrying messages
+// (for replay into recovered replicas, §4.2.2) and the last request id.
+func (h *replicaHost) recordORBState(env *replication.Envelope, msg *giop.Message) {
+	req, err := giop.ParseRequest(msg)
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.lastReqID[env.Conn] = env.OpID
+	if giop.FindContext(req.Header.ServiceContexts, giop.SCVendorHandshake) != nil ||
+		giop.FindContext(req.Header.ServiceContexts, giop.SCCodeSets) != nil {
+		h.handshakes[env.Conn] = append(h.handshakes[env.Conn], env.Payload)
+	}
+}
+
+// invokeInternal performs a synthetic local invocation (get_state,
+// set_state, handshake replay) through the replica's ORB, exactly as the
+// paper's mechanisms deliver fabricated IIOP invocations. It returns the
+// reply body.
+func (h *replicaHost) invokeInternal(op string, args []byte) ([]byte, error) {
+	conn := replication.ConnID{Client: "$eternal", Group: h.group, Seq: 0}
+	inj := h.injectionFor(conn)
+	h.internalID++
+	hdr := &giop.RequestHeader{
+		RequestID:        h.internalID,
+		ResponseExpected: true,
+		ObjectKey:        []byte("root/" + h.group),
+		Operation:        op,
+	}
+	msg := giop.EncodeRequest(giop.Version12, cdr.BigEndian, hdr, args)
+	if _, err := msg.WriteTo(inj.mech); err != nil {
+		return nil, err
+	}
+	for {
+		rep, err := inj.reader.Next()
+		if err != nil {
+			return nil, err
+		}
+		if rep.Type != giop.MsgReply {
+			continue
+		}
+		parsed, err := giop.ParseReply(rep)
+		if err != nil {
+			return nil, err
+		}
+		if parsed.Header.Status != giop.ReplyNoException {
+			return nil, fmt.Errorf("core: %s raised %v", op, parsed.Header.Status)
+		}
+		return parsed.Result, nil
+	}
+}
+
+// capture is the donor side of a state transfer (Figure 5 steps i–iv):
+// retrieve application-level state with get_state(), piggyback ORB-level
+// and infrastructure-level state, and multicast the fabricated set_state.
+func (h *replicaHost) capture(xferID uint64) {
+	appState, err := h.invokeInternal(ftcorba.OpGetState, nil)
+	if err != nil {
+		// NoStateAvailable or a dead instance: skip this transfer; the
+		// resource manager will retry.
+		return
+	}
+	bundle := &recovery.Bundle{AppState: appState}
+	if !h.disableORBStateTransfer {
+		h.mu.Lock()
+		for conn, hs := range h.handshakes {
+			for _, raw := range hs {
+				bundle.ORB.ServerConns = append(bundle.ORB.ServerConns, recovery.ServerConnState{
+					Conn:          conn,
+					Handshake:     raw,
+					LastRequestID: h.lastReqID[conn],
+				})
+			}
+		}
+		h.mu.Unlock()
+		if ce := h.node.clientEntityIfExists(h.group); ce != nil {
+			bundle.ORB.ClientConns = ce.snapshotClientConns()
+			bundle.Infra.ReplyFilter = replication.EncodeFilterState(ce.replyFilter.Snapshot())
+		}
+	}
+	bundle.Infra.RequestFilter = replication.EncodeFilterState(h.reqFilter.Snapshot())
+	h.node.counters.stateCaptures.Add(1)
+	h.node.logger().Info("state captured", "group", h.group, "xfer", xferID,
+		"appStateBytes", len(bundle.AppState), "serverConns", len(bundle.ORB.ServerConns))
+	h.node.multicast(&replication.Envelope{
+		Kind:    replication.KSetState,
+		Group:   h.group,
+		Node:    h.node.addr,
+		XferID:  xferID,
+		Payload: bundle.Encode(),
+	})
+}
+
+// applyState is the recovering side (Figure 5 steps v–vi): assign the
+// application-level state first, the ORB/POA-level state next, and the
+// infrastructure-level state last, before processing anything normal
+// (paper §4.3).
+func (h *replicaHost) applyState(bundle *recovery.Bundle) {
+	h.node.counters.stateApplied.Add(1)
+	h.node.logger().Info("state applied", "group", h.group,
+		"appStateBytes", len(bundle.AppState), "handshakes", len(bundle.ORB.ServerConns))
+	// 1. Application-level state (skipped for cold-passive log holders,
+	// which have no instance: the bundle goes to the log instead).
+	if h.replica == nil {
+		h.log.SetCheckpoint(bundle.Encode())
+		h.reqFilterRestore(bundle)
+		return
+	}
+	if len(bundle.AppState) > 0 {
+		if _, err := h.invokeInternal(ftcorba.OpSetState, bundle.AppState); err != nil {
+			// InvalidState: leave the replica at initial state; better to
+			// serve stale than to wedge, and tests assert on the success
+			// path.
+			_ = err
+		}
+	}
+	// 2. ORB/POA-level state: replay each stored handshake message into
+	// the fresh ORB ahead of any normal request; the response confirms
+	// the synchronization and is discarded (§4.2.2).
+	if !h.disableORBStateTransfer {
+		for _, sc := range bundle.ORB.ServerConns {
+			h.replayHandshake(sc)
+		}
+		if ce := h.node.clientEntityIfExists(h.group); ce != nil {
+			var rf map[replication.ConnID]uint32
+			if len(bundle.Infra.ReplyFilter) > 0 {
+				rf, _ = replication.DecodeFilterState(bundle.Infra.ReplyFilter)
+			}
+			ce.installClientConns(bundle.ORB.ClientConns, rf)
+		}
+	}
+	// 3. Infrastructure-level state.
+	h.reqFilterRestore(bundle)
+}
+
+func (h *replicaHost) reqFilterRestore(bundle *recovery.Bundle) {
+	if len(bundle.Infra.RequestFilter) == 0 {
+		return
+	}
+	if state, err := replication.DecodeFilterState(bundle.Infra.RequestFilter); err == nil {
+		// Merge, never rewind: this host may already have seen (enqueued
+		// or logged) operations ordered after the capture point.
+		h.reqFilter.MergeMax(state)
+	}
+}
+
+// replayHandshake injects a stored handshake message into the new
+// replica's ORB. The operation name is rewritten to a side-effect-free
+// one: what matters to the ORB is the service contexts and the key, not
+// the application operation the original message happened to carry.
+func (h *replicaHost) replayHandshake(sc recovery.ServerConnState) {
+	// Periodic checkpoints carry the same handshakes every time; replay
+	// each one only once per connection.
+	h.mu.Lock()
+	for _, prev := range h.handshakes[sc.Conn] {
+		if bytes.Equal(prev, sc.Handshake) {
+			if sc.LastRequestID > h.lastReqID[sc.Conn] {
+				h.lastReqID[sc.Conn] = sc.LastRequestID
+			}
+			h.mu.Unlock()
+			return
+		}
+	}
+	h.mu.Unlock()
+	msg, err := giop.ReadMessage(bytes.NewReader(sc.Handshake))
+	if err != nil {
+		return
+	}
+	req, err := giop.ParseRequest(msg)
+	if err != nil {
+		return
+	}
+	req.Header.Operation = ftcorba.OpHandshakeReplay
+	req.Header.ResponseExpected = true
+	replay := giop.EncodeRequest(msg.Version, msg.Order, &req.Header, nil)
+
+	inj := h.injectionFor(sc.Conn)
+	if _, err := replay.WriteTo(inj.mech); err != nil {
+		return
+	}
+	h.node.counters.handshakesReplayed.Add(1)
+	// The reply confirms the ORB absorbed the negotiation; discard it.
+	for {
+		rep, err := inj.reader.Next()
+		if err != nil {
+			return
+		}
+		if rep.Type == giop.MsgReply {
+			break
+		}
+	}
+	h.mu.Lock()
+	h.handshakes[sc.Conn] = append(h.handshakes[sc.Conn], sc.Handshake)
+	h.lastReqID[sc.Conn] = sc.LastRequestID
+	h.mu.Unlock()
+}
+
+// applyCheckpoint brings an operational passive backup to the primary's
+// checkpoint. All three kinds of state matter here, not just the
+// application-level snapshot: the backup's ORB must also absorb the
+// clients' handshakes (else, once promoted, it would discard their
+// negotiated short-key requests — the very §4.2.2 failure the paper
+// dissects). The bundle also lands in the log, clearing the messages the
+// checkpoint subsumes (§3.3's GC).
+func (h *replicaHost) applyCheckpoint(bundle *recovery.Bundle, xferID uint64) {
+	mark, ok := h.ckptMarks[xferID]
+	if !ok {
+		// We never saw this capture's marker (e.g. the host was created
+		// after it): applying would discard log entries the checkpoint
+		// does not subsume. Skip — the next checkpoint covers us.
+		return
+	}
+	// Transfer ids are node-scoped and not globally ordered; only the
+	// matched mark is consumed. Marks whose capture never produced a
+	// set_state (donor died) are orphaned, bounded by failure count.
+	delete(h.ckptMarks, xferID)
+	if h.replica != nil {
+		if len(bundle.AppState) > 0 {
+			_, _ = h.invokeInternal(ftcorba.OpSetState, bundle.AppState)
+		}
+		if !h.disableORBStateTransfer {
+			for _, sc := range bundle.ORB.ServerConns {
+				h.replayHandshake(sc)
+			}
+			if ce := h.node.clientEntityIfExists(h.group); ce != nil {
+				var rf map[replication.ConnID]uint32
+				if len(bundle.Infra.ReplyFilter) > 0 {
+					rf, _ = replication.DecodeFilterState(bundle.Infra.ReplyFilter)
+				}
+				ce.installClientConns(bundle.ORB.ClientConns, rf)
+			}
+		}
+	}
+	h.log.TruncateTo(bundle.Encode(), mark)
+	h.reqFilterRestore(bundle)
+}
+
+// promote makes this backup the primary: a cold backup instantiates the
+// replica and applies the logged checkpoint first; then the messages
+// logged since that checkpoint are replayed through the replica, and the
+// replies re-multicast — clients that already got the old primary's reply
+// suppress the duplicates, clients the old primary never answered get
+// theirs now (§3.2, §3.3).
+func (h *replicaHost) promote() {
+	if h.replica == nil {
+		if err := h.instantiate(); err != nil {
+			return
+		}
+		if raw, ok := h.log.Checkpoint(); ok {
+			if bundle, err := recovery.DecodeBundle(raw); err == nil {
+				h.applyState(bundle)
+			}
+		}
+	}
+	replayed := h.log.Len()
+	for _, env := range h.log.Messages() {
+		h.executeRequest(env, true)
+	}
+	h.log = recovery.NewLog()
+	h.node.counters.promotions.Add(1)
+	h.node.logger().Info("promoted to primary", "group", h.group, "replayed", replayed)
+	h.node.signal(promotedKey(h.group, h.node.addr))
+}
+
+// probeAlive performs one is_alive() probe through the replica's ORB on a
+// dedicated connection. A wedged servant holds the ORB's dispatch lock,
+// so the probe hangs exactly when a client invocation would — which is
+// the behaviour the pull monitor's patience converts into a fault.
+func (h *replicaHost) probeAlive() bool {
+	if h.replica == nil {
+		return true // log-only cold backups have nothing to probe
+	}
+	h.probeMu.Lock()
+	defer h.probeMu.Unlock()
+	conn := replication.ConnID{Client: "$monitor", Group: h.group, Seq: 0}
+	inj := h.injectionFor(conn)
+	h.probeID++
+	hdr := &giop.RequestHeader{
+		RequestID:        h.probeID,
+		ResponseExpected: true,
+		ObjectKey:        []byte("root/" + h.group),
+		Operation:        ftcorba.OpIsAlive,
+	}
+	msg := giop.EncodeRequest(giop.Version12, cdr.BigEndian, hdr, nil)
+	if _, err := msg.WriteTo(inj.mech); err != nil {
+		return false
+	}
+	for {
+		rep, err := inj.reader.Next()
+		if err != nil {
+			return false
+		}
+		if rep.Type == giop.MsgReply {
+			parsed, err := giop.ParseReply(rep)
+			return err == nil && parsed.Header.Status == giop.ReplyNoException
+		}
+	}
+}
+
+// stop tears the host down (replica kill or node shutdown).
+func (h *replicaHost) stop() {
+	if h.monitor != nil {
+		h.monitor.Stop()
+	}
+	close(h.done)
+	h.q.close()
+	h.mu.Lock()
+	conns := h.conns
+	h.conns = make(map[replication.ConnID]*injection)
+	h.mu.Unlock()
+	for _, inj := range conns {
+		inj.mech.Close()
+	}
+	if h.srv != nil {
+		h.srv.Close()
+	}
+}
+
+func recoveredKey(group, node string) string { return "recovered:" + group + ":" + node }
+func promotedKey(group, node string) string  { return "promoted:" + group + ":" + node }

@@ -1,0 +1,502 @@
+package core
+
+import (
+	"slices"
+	"time"
+
+	"eternal/internal/faultdetect"
+	"eternal/internal/ftcorba"
+	"eternal/internal/recovery"
+	"eternal/internal/replication"
+	"eternal/internal/totem"
+)
+
+// syncSelfDeclareAfter is how long an unanswered KSyncRequest waits before
+// the node declares itself synchronized with an empty table (the
+// cold-start case where no node has state yet).
+const syncSelfDeclareAfter = 750 * time.Millisecond
+
+// loop is the node's single delivery-processing goroutine: it evaluates
+// the deterministic state machine over the totally-ordered stream. It
+// must never block on replica execution — that is what the per-replica
+// dispatchers are for.
+func (n *Node) loop() {
+	defer close(n.loopDone)
+	defer n.shutdownHosts()
+	ticker := time.NewTicker(n.cfg.ManagerTick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case d, ok := <-n.proc.Deliveries():
+			if !ok {
+				return
+			}
+			n.handleDelivery(d)
+		case now := <-ticker.C:
+			n.sweep(now)
+		case f := <-n.calls:
+			f()
+		}
+	}
+}
+
+func (n *Node) shutdownHosts() {
+	for _, h := range n.hosts {
+		h.stop()
+	}
+	n.clientsMu.Lock()
+	clients := make([]*clientEntity, 0, len(n.clients))
+	for _, ce := range n.clients {
+		clients = append(clients, ce)
+	}
+	n.clientsMu.Unlock()
+	for _, ce := range clients {
+		ce.closeAll()
+	}
+}
+
+func (n *Node) handleDelivery(d totem.Delivery) {
+	if !n.synced {
+		n.handleUnsynced(d)
+		return
+	}
+	if d.View != nil {
+		n.handleView(d.View)
+		return
+	}
+	env, err := replication.Decode(d.Payload)
+	if err != nil {
+		return
+	}
+	n.handleEnvelope(env)
+}
+
+// --- metadata synchronization for joining nodes ---
+
+func (n *Node) handleUnsynced(d totem.Delivery) {
+	if d.View != nil {
+		n.live = slices.Clone(d.View.Members)
+		if len(d.View.Members) == 1 && d.View.Members[0] == n.addr {
+			// Alone in the domain: nothing to synchronize with.
+			n.becomeSynced(replication.NewTable(), nil)
+			return
+		}
+		if !n.syncRequested {
+			n.syncRequested = true
+			n.multicast(&replication.Envelope{Kind: replication.KSyncRequest, Node: n.addr})
+		}
+		return
+	}
+	env, err := replication.Decode(d.Payload)
+	if err != nil {
+		return
+	}
+	switch {
+	case env.Kind == replication.KSyncRequest && env.Node == n.addr:
+		// Our own request's position is the snapshot point: buffer
+		// everything after it.
+		n.syncWaiting = true
+		n.syncReqAt = time.Now()
+		n.syncBuf = nil
+	case env.Kind == replication.KSyncState && env.Node == n.addr && n.syncWaiting:
+		table, err := replication.DecodeTable(env.Payload)
+		if err != nil {
+			return
+		}
+		n.becomeSynced(table, n.syncBuf)
+	case n.syncWaiting:
+		n.syncBuf = append(n.syncBuf, d)
+	}
+}
+
+// rebuildGroupSet refreshes the read-mostly group view the API goroutines
+// consult (dialers, IOR minting).
+func (n *Node) rebuildGroupSet() {
+	n.groupsMu.Lock()
+	defer n.groupsMu.Unlock()
+	n.groupSet = make(map[string]*replication.GroupSpec, len(n.table.Names()))
+	for _, name := range n.table.Names() {
+		g, _ := n.table.Get(name)
+		spec := g.Spec
+		n.groupSet[name] = &spec
+	}
+}
+
+func (n *Node) becomeSynced(table *replication.Table, buffered []totem.Delivery) {
+	n.table = table
+	n.rebuildGroupSet()
+	n.synced = true
+	n.syncWaiting = false
+	n.syncBuf = nil
+
+	// If the received table still lists this (freshly restarted) node as a
+	// member, those replicas died with the previous incarnation: remove
+	// them so the Resource Manager can re-launch clean ones.
+	for _, name := range table.Names() {
+		g, _ := table.Get(name)
+		if g.HasMember(n.addr) {
+			n.multicast(&replication.Envelope{
+				Kind:  replication.KRemoveMember,
+				Group: name,
+				Node:  n.addr,
+			})
+		}
+	}
+	for _, d := range buffered {
+		n.handleDelivery(d)
+	}
+	n.signal("synced")
+}
+
+// AwaitSynced blocks until the node has the group-metadata table (joined
+// nodes synchronize against an existing member; the first node of a
+// domain self-declares after a quiet period).
+func (n *Node) AwaitSynced(timeout time.Duration) error {
+	return n.await(n.subscribe("synced"), timeout)
+}
+
+// --- view changes ---
+
+func (n *Node) handleView(v *totem.Membership) {
+	if v.Reset {
+		// We are on the losing side of a partition merge: our replicas
+		// diverged and our metadata is stale. Re-synchronize from scratch
+		// and shed our (now worthless) replicas.
+		for name, h := range n.hosts {
+			h.stop()
+			delete(n.hosts, name)
+		}
+		n.primaryOf = make(map[string]bool)
+		n.pendingAdd = make(map[string]bool)
+		n.synced = false
+		n.syncRequested = true
+		n.live = slices.Clone(v.Members)
+		n.multicast(&replication.Envelope{Kind: replication.KSyncRequest, Node: n.addr})
+		return
+	}
+	var dead []string
+	for _, prev := range n.live {
+		if !slices.Contains(v.Members, prev) {
+			dead = append(dead, prev)
+		}
+	}
+	n.live = slices.Clone(v.Members)
+	for _, node := range dead {
+		n.logger().Info("processor failed", "node", node)
+		for _, name := range n.table.NodeFailed(node) {
+			n.resetSignal(recoveredKey(name, node))
+			n.resetSignal(promotedKey(name, node))
+			n.signal(removedKey(name, node))
+			n.reconcile(name)
+		}
+	}
+}
+
+// reconcile reacts to a membership change of one group: primary
+// promotion, and re-triggering a state capture whose donor died.
+func (n *Node) reconcile(name string) {
+	g, ok := n.table.Get(name)
+	if !ok {
+		return
+	}
+	h := n.hosts[name]
+	isPrimary := g.IsPrimary(n.addr)
+	wasPrimary := n.primaryOf[name]
+	n.primaryOf[name] = isPrimary
+	if h != nil && isPrimary && !wasPrimary && g.Spec.Props.Style != ftcorba.Active {
+		// This backup is promoted: replay the log (paper §3.2/§3.3).
+		h.q.push(dispatchItem{kind: itemPromote})
+	}
+	// If someone is still recovering and the donor died, the new first
+	// operational member must capture again.
+	hasRecovering := false
+	for _, m := range g.Members {
+		if m.State == replication.MemberRecovering {
+			hasRecovering = true
+			break
+		}
+	}
+	if hasRecovering && isPrimary && h != nil && !h.recovering {
+		h.q.push(dispatchItem{kind: itemCapture, xferID: n.nextXfer()})
+	}
+}
+
+// --- envelope handling (the replicated state machine) ---
+
+func (n *Node) handleEnvelope(env *replication.Envelope) {
+	switch env.Kind {
+	case replication.KRequest:
+		n.handleRequest(env)
+	case replication.KReply:
+		if ce := n.clientEntityIfExists(env.Conn.Client); ce != nil {
+			ce.deliverReply(env)
+		}
+	case replication.KCreateGroup:
+		n.handleCreate(env)
+	case replication.KRemoveMember:
+		n.handleRemove(env)
+	case replication.KAddMember:
+		n.handleAdd(env)
+	case replication.KSetState:
+		n.handleSetState(env)
+	case replication.KCheckpoint:
+		n.handleCheckpoint(env)
+	case replication.KSyncRequest:
+		if env.Node != n.addr {
+			// Snapshot at this position; every synced node answers (the
+			// requester uses the first, identical, copy).
+			n.multicast(&replication.Envelope{
+				Kind:    replication.KSyncState,
+				Node:    env.Node,
+				Payload: n.table.EncodeTable(),
+			})
+		}
+	case replication.KSyncState:
+		// Already synced: someone else's snapshot.
+	}
+}
+
+func (n *Node) handleRequest(env *replication.Envelope) {
+	g, ok := n.table.Get(env.Group)
+	if !ok {
+		return
+	}
+	h := n.hosts[env.Group]
+	if h == nil {
+		return
+	}
+	execute := true
+	if g.Spec.Props.Style != ftcorba.Active {
+		// Passive replication: only the primary executes; backups log.
+		execute = g.IsPrimary(n.addr)
+	}
+	h.q.push(dispatchItem{kind: itemRequest, env: env, execute: execute})
+}
+
+func (n *Node) handleCreate(env *replication.Envelope) {
+	spec, err := replication.DecodeSpec(env.Payload)
+	if err != nil {
+		return
+	}
+	g, err := n.table.Create(spec)
+	if err != nil {
+		// Duplicate creation: unblock any waiter anyway.
+		n.signal("create:" + spec.Name)
+		return
+	}
+	n.groupsMu.Lock()
+	n.groupSet[spec.Name] = &g.Spec
+	n.groupsMu.Unlock()
+
+	for _, m := range g.Members {
+		// A member exists (again): un-latch its removal signal so later
+		// kills wait for their own removal, not a stale one.
+		n.resetSignal(removedKey(spec.Name, m.Node))
+	}
+	if g.HasMember(n.addr) {
+		withInstance := spec.Props.Style != ftcorba.ColdPassive || g.IsPrimary(n.addr)
+		h, err := newReplicaHost(n, spec.Name, spec.Props.Style, withInstance, false)
+		if err == nil {
+			h.disableORBStateTransfer = n.disableORBStateTransfer.Load()
+			n.hosts[spec.Name] = h
+			n.primaryOf[spec.Name] = g.IsPrimary(n.addr)
+			n.lastCkpt[spec.Name] = time.Now()
+			n.startMonitor(h, spec.Props.FaultMonitoringInterval)
+			n.logger().Info("replica hosted", "group", spec.Name,
+				"style", spec.Props.Style.String(), "primary", g.IsPrimary(n.addr))
+		}
+	}
+	n.signal("create:" + spec.Name)
+}
+
+func (n *Node) handleRemove(env *replication.Envelope) {
+	removed, err := n.table.RemoveMember(env.Group, env.Node)
+	if err != nil {
+		return
+	}
+	if removed && env.Node == n.addr {
+		if h := n.hosts[env.Group]; h != nil {
+			h.stop()
+			delete(n.hosts, env.Group)
+		}
+		delete(n.primaryOf, env.Group)
+		n.logger().Info("replica removed", "group", env.Group)
+	}
+	if removed {
+		n.resetSignal(recoveredKey(env.Group, env.Node))
+		n.resetSignal(promotedKey(env.Group, env.Node))
+		n.reconcile(env.Group)
+	}
+	n.signal(removedKey(env.Group, env.Node))
+}
+
+func (n *Node) handleAdd(env *replication.Envelope) {
+	delete(n.pendingAdd, env.Group)
+	g, err := n.table.AddRecovering(env.Group, env.Node)
+	if err != nil {
+		return
+	}
+	n.resetSignal(removedKey(env.Group, env.Node))
+	_, hasDonorNow := g.Primary()
+	if env.Node == n.addr {
+		// Figure 5 step (i): this position is the synchronization point;
+		// the new replica enqueues everything from here on — unless no
+		// operational member exists anywhere (total group loss): then
+		// there is no state to wait for, and the new replica starts from
+		// its type's initial state immediately.
+		recovering := hasDonorNow
+		withInstance := g.Spec.Props.Style != ftcorba.ColdPassive || !hasDonorNow
+		h, err := newReplicaHost(n, env.Group, g.Spec.Props.Style, withInstance, recovering)
+		if err == nil {
+			h.disableORBStateTransfer = n.disableORBStateTransfer.Load()
+			n.hosts[env.Group] = h
+			n.primaryOf[env.Group] = !hasDonorNow
+			if !recovering {
+				n.logger().Info("replica restarted from initial state (total group loss)",
+					"group", env.Group)
+				n.startMonitor(h, g.Spec.Props.FaultMonitoringInterval)
+			}
+		}
+	}
+	if !hasDonorNow {
+		// Everyone marks the lone member operational at this position.
+		if err := n.table.MarkOperational(env.Group, env.Node); err == nil {
+			n.signal(recoveredKey(env.Group, env.Node))
+			n.reconcile(env.Group)
+		}
+		return
+	}
+	donor, hasDonor := g.Primary()
+	if hasDonor && donor == n.addr {
+		if h := n.hosts[env.Group]; h != nil && !h.recovering {
+			// Figure 5 steps (i)–(iii): the donor's dispatcher performs
+			// get_state() at this position in its serial queue.
+			h.q.push(dispatchItem{kind: itemCapture, xferID: env.XferID})
+		}
+	} else if g.Spec.Props.Style != ftcorba.Active && env.Node != n.addr {
+		// Passive backups mark this capture's position so the coming
+		// set_state clears only the log entries it subsumes.
+		if h := n.hosts[env.Group]; h != nil && !h.recovering {
+			h.q.push(dispatchItem{kind: itemCheckpointMark, xferID: env.XferID})
+		}
+	}
+}
+
+func (n *Node) handleSetState(env *replication.Envelope) {
+	g, ok := n.table.Get(env.Group)
+	if !ok {
+		return
+	}
+	bundle, err := recovery.DecodeBundle(env.Payload)
+	if err != nil {
+		return
+	}
+	// Every recovering member is cured by this state (they all held their
+	// queues from their own synchronization points; duplicate suppression
+	// makes the replayed overlap idempotent).
+	for _, m := range g.Members {
+		if m.State != replication.MemberRecovering {
+			continue
+		}
+		if err := n.table.MarkOperational(env.Group, m.Node); err != nil {
+			continue
+		}
+		if m.Node == n.addr {
+			if h := n.hosts[env.Group]; h != nil && h.recovering {
+				h.recovering = false
+				select {
+				case h.stateCh <- bundle:
+				default:
+				}
+				// The replica is (about to be) operational: begin pull
+				// monitoring it.
+				n.startMonitor(h, g.Spec.Props.FaultMonitoringInterval)
+			}
+		} else {
+			// Remote recovery completion is observable here (the precise
+			// reinstatement is signaled locally by the dispatcher).
+			n.signal(recoveredKey(env.Group, m.Node))
+		}
+		n.reconcile(env.Group)
+	}
+	// Operational passive backups absorb the checkpoint (warm: into the
+	// instance; cold: into the log).
+	if env.Node != n.addr && g.Spec.Props.Style != ftcorba.Active && !g.IsPrimary(n.addr) {
+		if h := n.hosts[env.Group]; h != nil && !h.recovering {
+			h.q.push(dispatchItem{kind: itemApplyCheckpoint, bundle: bundle, xferID: env.XferID})
+		}
+	}
+}
+
+func (n *Node) handleCheckpoint(env *replication.Envelope) {
+	g, ok := n.table.Get(env.Group)
+	if !ok || g.Spec.Props.Style == ftcorba.Active {
+		return
+	}
+	h := n.hosts[env.Group]
+	if h == nil || h.recovering {
+		return
+	}
+	if g.IsPrimary(n.addr) {
+		h.q.push(dispatchItem{kind: itemCapture, xferID: env.XferID, checkpoint: true})
+	} else {
+		// Backups mark the capture position (see itemCheckpointMark).
+		h.q.push(dispatchItem{kind: itemCheckpointMark, xferID: env.XferID})
+	}
+}
+
+// startMonitor begins pull-monitoring a hosted replica instance at its
+// FaultMonitoringInterval (disabled when the interval is zero, and for
+// log-only cold backups).
+func (n *Node) startMonitor(h *replicaHost, interval time.Duration) {
+	if interval <= 0 || h.replica == nil || h.monitor != nil {
+		return
+	}
+	h.monitor = faultdetect.StartMonitor(h.group, n.addr, interval, 0, h.probeAlive, n.faults)
+}
+
+// --- periodic manager duties ---
+
+func (n *Node) sweep(now time.Time) {
+	if !n.synced {
+		if n.syncWaiting && now.Sub(n.syncReqAt) > syncSelfDeclareAfter {
+			// Nobody answered: we are the first stateful node (cold
+			// start). Start from an empty table plus whatever control
+			// traffic we buffered.
+			n.becomeSynced(replication.NewTable(), n.syncBuf)
+		}
+		return
+	}
+	for _, name := range n.table.Names() {
+		g, _ := n.table.Get(name)
+		props := g.Spec.Props
+
+		// Checkpoint scheduler (paper §5: frequency fixed per object at
+		// deployment): the primary's node multicasts the marker.
+		if props.Style != ftcorba.Active && g.IsPrimary(n.addr) {
+			if now.Sub(n.lastCkpt[name]) >= props.CheckpointInterval {
+				n.lastCkpt[name] = now
+				n.multicast(&replication.Envelope{
+					Kind:   replication.KCheckpoint,
+					Group:  name,
+					XferID: n.nextXfer(),
+				})
+			}
+		}
+
+		// Resource Manager (paper §2): maintain MinimumNumberReplicas.
+		if len(g.Members) < props.MinReplicas && !n.pendingAdd[name] {
+			if target, ok := g.RecoveryTarget(n.live); ok && target == n.addr {
+				n.pendingAdd[name] = true
+				n.multicast(&replication.Envelope{
+					Kind:   replication.KAddMember,
+					Group:  name,
+					Node:   n.addr,
+					XferID: n.nextXfer(),
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,498 @@
+// Package core implements the Eternal node: one processor's worth of the
+// Eternal system (paper Figure 1). A Node owns a totem group-communication
+// endpoint, the Replication Mechanisms (envelope routing, duplicate
+// suppression, group metadata), the Recovery Mechanisms (state transfer,
+// logging, enqueue-while-recovering), the socket-level Interceptor for
+// locally attached clients, and the Replication/Resource Manager logic
+// that maintains the configured numbers of replicas.
+//
+// Every node evaluates the same deterministic state machine over the same
+// totally-ordered delivery stream, so group metadata, primary election,
+// donor selection and recovery placement agree everywhere without extra
+// rounds of coordination.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eternal/internal/faultdetect"
+	"eternal/internal/ftcorba"
+	"eternal/internal/interceptor"
+	"eternal/internal/ior"
+	"eternal/internal/orb"
+	"eternal/internal/replication"
+	"eternal/internal/totem"
+)
+
+// GroupPort is the port number in the virtual endpoints of replicated
+// object groups (the host is the group name; the Interceptor diverts it).
+const GroupPort uint16 = 13570
+
+// Errors returned by Node methods.
+var (
+	ErrNodeStopped = errors.New("core: node stopped")
+	ErrTimedOut    = errors.New("core: timed out")
+	ErrNoSuchGroup = errors.New("core: no such group")
+	ErrNotAMember  = errors.New("core: node does not host a replica of the group")
+)
+
+// Config configures a Node.
+type Config struct {
+	// Transport is the node's group-communication endpoint.
+	Transport totem.Transport
+	// Totem tunes the multicast protocol; Transport inside it is ignored.
+	Totem totem.Config
+	// ReplyTimeout bounds how long a dispatcher waits for the local ORB's
+	// reply to an injected request (default 5s).
+	ReplyTimeout time.Duration
+	// ManagerTick is the period of the resource-manager sweep and
+	// checkpoint scheduler (default 20ms).
+	ManagerTick time.Duration
+	// Logger receives structured mechanism events (group lifecycle, state
+	// transfers, faults). Nil disables logging.
+	Logger *slog.Logger
+}
+
+// Node is one Eternal processor.
+type Node struct {
+	addr string
+	cfg  Config
+	proc *totem.Processor
+
+	// factoriesMu guards factories (registered before/after start).
+	factoriesMu sync.Mutex
+	factories   map[string]ftcorba.Factory
+
+	// Loop-owned state (only the delivery loop touches these).
+	table         *replication.Table
+	live          []string
+	hosts         map[string]*replicaHost
+	primaryOf     map[string]bool // group -> this node believes it is primary
+	pendingAdd    map[string]bool // group -> KAddMember multicast, not yet delivered
+	lastCkpt      map[string]time.Time
+	synced        bool
+	syncRequested bool
+	syncWaiting   bool // our KSyncRequest was delivered; buffer after it
+	syncReqAt     time.Time
+	syncBuf       []totem.Delivery
+
+	// calls lets API goroutines run a closure on the loop for a
+	// consistent read of loop-owned state.
+	calls chan func()
+
+	// groupsMu guards the read-mostly group view used by API goroutines
+	// (dialers, IOR minting).
+	groupsMu sync.RWMutex
+	groupSet map[string]*replication.GroupSpec
+
+	clientsMu sync.Mutex
+	clients   map[string]*clientEntity
+
+	waitersMu sync.Mutex
+	waiters   map[string][]chan struct{}
+	signaled  map[string]bool
+
+	xferCounter atomic.Uint64
+
+	// faults is the FaultNotifier: replica-level pull monitors publish
+	// here, and the node reacts by removing the faulty replica.
+	faults *faultdetect.Notifier
+
+	// counters back the Stats surface.
+	counters nodeCounters
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	loopDone chan struct{}
+
+	// Failure-injection knobs for the paper's §4.2 experiments.
+	disableORBStateTransfer atomic.Bool
+}
+
+// Start creates a node and joins the group-communication domain.
+func Start(cfg Config) (*Node, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("core: Config.Transport is required")
+	}
+	if cfg.ReplyTimeout <= 0 {
+		cfg.ReplyTimeout = 5 * time.Second
+	}
+	if cfg.ManagerTick <= 0 {
+		cfg.ManagerTick = 20 * time.Millisecond
+	}
+	tc := cfg.Totem
+	tc.Transport = cfg.Transport
+	proc, err := totem.Start(tc)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		addr:       cfg.Transport.Addr(),
+		cfg:        cfg,
+		proc:       proc,
+		factories:  make(map[string]ftcorba.Factory),
+		table:      replication.NewTable(),
+		hosts:      make(map[string]*replicaHost),
+		primaryOf:  make(map[string]bool),
+		pendingAdd: make(map[string]bool),
+		lastCkpt:   make(map[string]time.Time),
+		groupSet:   make(map[string]*replication.GroupSpec),
+		clients:    make(map[string]*clientEntity),
+		waiters:    make(map[string][]chan struct{}),
+		signaled:   make(map[string]bool),
+		calls:      make(chan func(), 16),
+		faults:     faultdetect.NewNotifier(),
+		stopCh:     make(chan struct{}),
+		loopDone:   make(chan struct{}),
+	}
+	go n.loop()
+	go n.faultLoop()
+	return n, nil
+}
+
+// faultLoop turns local fault-detector events into group-membership
+// changes: a faulty replica is removed (in the total order), and the
+// Resource Manager re-launches a replacement if the group drops below
+// its minimum.
+func (n *Node) faultLoop() {
+	sub := n.faults.Subscribe()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case f := <-sub:
+			n.multicast(&replication.Envelope{
+				Kind:  replication.KRemoveMember,
+				Group: f.Group,
+				Node:  f.Node,
+			})
+		}
+	}
+}
+
+// Faults exposes the node's fault notifier for observers (dashboards,
+// tests).
+func (n *Node) Faults() *faultdetect.Notifier { return n.faults }
+
+// Addr returns the node's address.
+func (n *Node) Addr() string { return n.addr }
+
+// Stop shuts the node down: its replicas die with it, and the other nodes
+// observe the silence as a processor failure.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stopCh)
+		n.proc.Stop()
+	})
+	<-n.loopDone
+}
+
+// RegisterFactory installs the replica factory for an object type. Every
+// node that may host a replica of that type must register it (the
+// FT-CORBA GenericFactory deployed alongside the application).
+func (n *Node) RegisterFactory(typeName string, f ftcorba.Factory) {
+	n.factoriesMu.Lock()
+	defer n.factoriesMu.Unlock()
+	n.factories[typeName] = f
+}
+
+func (n *Node) factory(typeName string) (ftcorba.Factory, bool) {
+	n.factoriesMu.Lock()
+	defer n.factoriesMu.Unlock()
+	f, ok := n.factories[typeName]
+	return f, ok
+}
+
+func (n *Node) replyTimeout() time.Duration { return n.cfg.ReplyTimeout }
+
+// SetORBStateTransfer toggles the transfer of ORB/POA-level state during
+// recovery. Disabling it reproduces the paper's Figure 4 and §4.2.2
+// failure modes (experiments E4/E5); it is on by default.
+func (n *Node) SetORBStateTransfer(enabled bool) {
+	n.disableORBStateTransfer.Store(!enabled)
+}
+
+// --- group metadata for API goroutines ---
+
+func (n *Node) isGroup(name string) bool {
+	n.groupsMu.RLock()
+	defer n.groupsMu.RUnlock()
+	_, ok := n.groupSet[name]
+	return ok
+}
+
+func (n *Node) groupTypeName(name string) string {
+	n.groupsMu.RLock()
+	defer n.groupsMu.RUnlock()
+	if s, ok := n.groupSet[name]; ok {
+		return s.TypeName
+	}
+	return ""
+}
+
+// GroupIOR mints the Interoperable Object Group Reference for a group:
+// one virtual IIOP profile per configured member, each carrying the
+// TAG_FT_GROUP component (FT-CORBA IOGR).
+func (n *Node) GroupIOR(name string) (*ior.IOR, error) {
+	n.groupsMu.RLock()
+	spec, ok := n.groupSet[name]
+	n.groupsMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchGroup, name)
+	}
+	group := &ior.FTGroupInfo{FTDomainID: "eternal-go", GroupID: hashName(name), GroupVersion: 1}
+	members := make([]ior.Member, 0, len(spec.Nodes))
+	for i, node := range spec.Nodes {
+		_ = node
+		members = append(members, ior.Member{
+			Host:      name, // virtual endpoint: the Interceptor routes by group name
+			Port:      GroupPort,
+			ObjectKey: []byte("root/" + name),
+			Primary:   i == 0 && spec.Props.Style != ftcorba.Active,
+		})
+	}
+	return ior.NewIOGR("IDL:eternal/"+spec.TypeName+":1.0", group, members), nil
+}
+
+// nextXfer generates a transfer id unique across the domain: the high
+// half identifies the initiating node, the low half counts locally. Every
+// capture marker (KAddMember, KCheckpoint) and its KSetState share one id
+// space, so passive backups can pair markers with the checkpoints they
+// produce.
+func (n *Node) nextXfer() uint64 {
+	return hashName(n.addr)<<32 | (n.xferCounter.Add(1) & 0xFFFFFFFF)
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// --- client attachment ---
+
+// entityDialer is the orb.Dialer handed to locally attached client ORBs:
+// connections to replicated groups are diverted into the client entity's
+// egress proxies; anything else falls through to TCP.
+type entityDialer struct {
+	node   *Node
+	entity *clientEntity
+}
+
+func (d *entityDialer) Dial(host string, port uint16) (net.Conn, error) {
+	if d.node.isGroup(host) {
+		orbEnd, mechEnd := interceptor.Pipe()
+		d.entity.accept(host, mechEnd)
+		return orbEnd, nil
+	}
+	return orb.TCPDialer{}.Dial(host, port)
+}
+
+// ClientORB returns an ORB whose connections are intercepted by this
+// node's mechanisms on behalf of the named client entity. Replicas of a
+// replicated client use their group name as the entity name on every
+// node, which is how their duplicate invocations are paired up.
+func (n *Node) ClientORB(entityName string, opts orb.Options) *orb.ORB {
+	ce := n.clientEntity(entityName)
+	opts.Dialer = &entityDialer{node: n, entity: ce}
+	return orb.NewORB(opts)
+}
+
+func (n *Node) clientEntity(name string) *clientEntity {
+	n.clientsMu.Lock()
+	defer n.clientsMu.Unlock()
+	if ce, ok := n.clients[name]; ok {
+		return ce
+	}
+	ce := newClientEntity(n, name)
+	n.clients[name] = ce
+	return ce
+}
+
+func (n *Node) clientEntityIfExists(name string) *clientEntity {
+	n.clientsMu.Lock()
+	defer n.clientsMu.Unlock()
+	return n.clients[name]
+}
+
+// --- administrative API (each call is a multicast + wait) ---
+
+// CreateGroup deploys a replicated object group. It returns once this
+// node has applied the creation (all nodes apply it at the same position
+// in the total order).
+func (n *Node) CreateGroup(spec replication.GroupSpec, timeout time.Duration) error {
+	if err := spec.Props.Validate(); err != nil {
+		return err
+	}
+	if len(spec.Nodes) != spec.Props.InitialReplicas {
+		return fmt.Errorf("core: group %q: %d placement nodes for %d initial replicas",
+			spec.Name, len(spec.Nodes), spec.Props.InitialReplicas)
+	}
+	ch := n.subscribe("create:" + spec.Name)
+	n.multicast(&replication.Envelope{
+		Kind:    replication.KCreateGroup,
+		Group:   spec.Name,
+		Payload: replication.EncodeSpec(&spec),
+	})
+	return n.await(ch, timeout)
+}
+
+// AwaitGroup blocks until this node has applied the group's creation.
+// CreateGroup only waits for the creating node; other nodes apply the
+// same envelope at the same position in the total order but on their own
+// processing schedule.
+func (n *Node) AwaitGroup(name string, timeout time.Duration) error {
+	return n.await(n.subscribe("create:"+name), timeout)
+}
+
+// KillReplica administratively removes this node's replica of the group —
+// the experiments' "kill the server replica". If the group then has fewer
+// members than MinimumNumberReplicas, the Resource Manager re-launches
+// one automatically.
+func (n *Node) KillReplica(group string, timeout time.Duration) error {
+	ch := n.subscribe(removedKey(group, n.addr))
+	n.multicast(&replication.Envelope{
+		Kind:  replication.KRemoveMember,
+		Group: group,
+		Node:  n.addr,
+	})
+	return n.await(ch, timeout)
+}
+
+// RecoverReplica launches a new replica of the group on this node and
+// synchronizes it through the Figure 5 state-transfer protocol. It
+// returns when the replica is reinstated to normal operation.
+func (n *Node) RecoverReplica(group string, timeout time.Duration) error {
+	ch := n.subscribe(recoveredKey(group, n.addr))
+	n.multicast(&replication.Envelope{
+		Kind:   replication.KAddMember,
+		Group:  group,
+		Node:   n.addr,
+		XferID: n.nextXfer(),
+	})
+	return n.await(ch, timeout)
+}
+
+// AwaitRecovered blocks until a replica of group on node completes its
+// state transfer (reinstatement, as measured in the paper's Figure 6).
+func (n *Node) AwaitRecovered(group, node string, timeout time.Duration) error {
+	return n.await(n.subscribe(recoveredKey(group, node)), timeout)
+}
+
+// AwaitPromoted blocks until this node's backup replica of group has been
+// promoted to primary (passive failover).
+func (n *Node) AwaitPromoted(group, node string, timeout time.Duration) error {
+	return n.await(n.subscribe(promotedKey(group, node)), timeout)
+}
+
+// HostsReplica reports whether this node currently hosts the group (the
+// instance may be a cold-passive log holder).
+func (n *Node) HostsReplica(group string) bool {
+	done := make(chan bool, 1)
+	select {
+	case n.calls <- func() { done <- n.hosts[group] != nil }:
+	case <-n.stopCh:
+		return false
+	}
+	select {
+	case v := <-done:
+		return v
+	case <-n.stopCh:
+		return false
+	}
+}
+
+// GroupMembers returns the group's current members and their states as
+// seen by this node's metadata (a consistent loop-side read).
+func (n *Node) GroupMembers(group string) ([]replication.Member, error) {
+	type result struct {
+		members []replication.Member
+		err     error
+	}
+	done := make(chan result, 1)
+	select {
+	case n.calls <- func() {
+		g, ok := n.table.Get(group)
+		if !ok {
+			done <- result{err: fmt.Errorf("%w: %q", ErrNoSuchGroup, group)}
+			return
+		}
+		done <- result{members: slices.Clone(g.Members)}
+	}:
+	case <-n.stopCh:
+		return nil, ErrNodeStopped
+	}
+	select {
+	case r := <-done:
+		return r.members, r.err
+	case <-n.stopCh:
+		return nil, ErrNodeStopped
+	}
+}
+
+// --- internals shared with host/client files ---
+
+func (n *Node) multicast(env *replication.Envelope) {
+	_ = n.proc.Multicast(env.Encode())
+}
+
+// subscribe returns a channel closed when key is signaled. A key already
+// signaled yields a closed channel immediately.
+func (n *Node) subscribe(key string) chan struct{} {
+	n.waitersMu.Lock()
+	defer n.waitersMu.Unlock()
+	ch := make(chan struct{})
+	if n.signaled[key] {
+		close(ch)
+		return ch
+	}
+	n.waiters[key] = append(n.waiters[key], ch)
+	return ch
+}
+
+func (n *Node) signal(key string) {
+	n.waitersMu.Lock()
+	defer n.waitersMu.Unlock()
+	n.signaled[key] = true
+	for _, ch := range n.waiters[key] {
+		close(ch)
+	}
+	delete(n.waiters, key)
+}
+
+// resetSignal clears a latched signal key (used for repeatable events
+// like repeated recoveries of the same group on the same node).
+func (n *Node) resetSignal(key string) {
+	n.waitersMu.Lock()
+	defer n.waitersMu.Unlock()
+	delete(n.signaled, key)
+}
+
+func (n *Node) await(ch chan struct{}, timeout time.Duration) error {
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-timer:
+		return ErrTimedOut
+	case <-n.stopCh:
+		return ErrNodeStopped
+	}
+}
+
+func removedKey(group, node string) string { return "removed:" + group + ":" + node }

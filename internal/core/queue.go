@@ -1,0 +1,64 @@
+package core
+
+import "sync"
+
+// queue is an unbounded FIFO with blocking pop, used for per-replica
+// dispatch: the node's delivery loop must never block on a replica whose
+// servant is busy, so items land here and the replica's dispatcher
+// consumes them at its own pace — the paper's "enqueueing of normal
+// incoming IIOP messages at the Recovery Mechanisms" (§3.3).
+type queue[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	closed bool
+}
+
+func newQueue[T any]() *queue[T] {
+	q := &queue[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues an item; it never blocks. Pushing after close is a no-op.
+func (q *queue[T]) push(v T) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, v)
+	q.cond.Signal()
+}
+
+// pop blocks until an item is available or the queue closes; ok is false
+// only after close with an empty queue.
+func (q *queue[T]) pop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// close wakes all poppers; queued items are still drained.
+func (q *queue[T]) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// size reports the current backlog.
+func (q *queue[T]) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

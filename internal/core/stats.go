@@ -1,0 +1,81 @@
+package core
+
+import (
+	"context"
+	"log/slog"
+	"sync/atomic"
+)
+
+// Stats are one node's cumulative mechanism counters — the observability
+// surface for benchmarks, tests and operators.
+type Stats struct {
+	// RequestsExecuted counts invocations this node's replicas performed.
+	RequestsExecuted uint64
+	// RequestsLogged counts invocations logged by passive backups.
+	RequestsLogged uint64
+	// DuplicatesSuppressed counts invocations dropped by operation-id
+	// filtering (paper §2.1).
+	DuplicatesSuppressed uint64
+	// RepliesDelivered counts replies written into local client ORBs.
+	RepliesDelivered uint64
+	// DuplicateReplies counts replies suppressed at client connections.
+	DuplicateReplies uint64
+	// StateCaptures counts get_state() captures performed as donor or
+	// checkpointing primary.
+	StateCaptures uint64
+	// StateApplied counts set_state() assignments (recoveries and
+	// checkpoint applications).
+	StateApplied uint64
+	// Promotions counts backup-to-primary promotions on this node.
+	Promotions uint64
+	// HandshakesReplayed counts §4.2.2 handshake injections.
+	HandshakesReplayed uint64
+}
+
+// nodeCounters is the atomic backing store for Stats.
+type nodeCounters struct {
+	requestsExecuted     atomic.Uint64
+	requestsLogged       atomic.Uint64
+	duplicatesSuppressed atomic.Uint64
+	repliesDelivered     atomic.Uint64
+	duplicateReplies     atomic.Uint64
+	stateCaptures        atomic.Uint64
+	stateApplied         atomic.Uint64
+	promotions           atomic.Uint64
+	handshakesReplayed   atomic.Uint64
+}
+
+func (c *nodeCounters) snapshot() Stats {
+	return Stats{
+		RequestsExecuted:     c.requestsExecuted.Load(),
+		RequestsLogged:       c.requestsLogged.Load(),
+		DuplicatesSuppressed: c.duplicatesSuppressed.Load(),
+		RepliesDelivered:     c.repliesDelivered.Load(),
+		DuplicateReplies:     c.duplicateReplies.Load(),
+		StateCaptures:        c.stateCaptures.Load(),
+		StateApplied:         c.stateApplied.Load(),
+		Promotions:           c.promotions.Load(),
+		HandshakesReplayed:   c.handshakesReplayed.Load(),
+	}
+}
+
+// Stats returns a snapshot of the node's mechanism counters.
+func (n *Node) Stats() Stats { return n.counters.snapshot() }
+
+// logger returns the node's structured logger (a discarding logger when
+// none was configured).
+func (n *Node) logger() *slog.Logger {
+	if n.cfg.Logger != nil {
+		return n.cfg.Logger
+	}
+	return discardLogger
+}
+
+var discardLogger = slog.New(discardHandler{})
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

@@ -1,0 +1,161 @@
+package ftcorba
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"eternal/internal/anyval"
+	"eternal/internal/cdr"
+	"eternal/internal/orb"
+)
+
+// counter is a minimal Replica for tests.
+type counter struct {
+	value   int64
+	noState bool
+}
+
+func (c *counter) Invoke(op string, args []byte, order cdr.ByteOrder) ([]byte, error) {
+	switch op {
+	case "incr":
+		c.value++
+		e := cdr.NewEncoder(order)
+		e.WriteLongLong(c.value)
+		return e.Bytes(), nil
+	default:
+		return nil, orb.BadOperation()
+	}
+}
+
+func (c *counter) GetState() (anyval.Any, error) {
+	if c.noState {
+		return anyval.Any{}, ErrNoStateAvailable
+	}
+	return anyval.FromLongLong(c.value), nil
+}
+
+func (c *counter) SetState(st anyval.Any) error {
+	v, ok := st.Value.(int64)
+	if !ok {
+		return ErrInvalidState
+	}
+	c.value = v
+	return nil
+}
+
+func TestStyleStrings(t *testing.T) {
+	if Active.String() != "ACTIVE" || WarmPassive.String() != "WARM_PASSIVE" || ColdPassive.String() != "COLD_PASSIVE" {
+		t.Fatal("style names wrong")
+	}
+	if ReplicationStyle(99).Valid() {
+		t.Fatal("99 must be invalid")
+	}
+}
+
+func TestPropertiesValidate(t *testing.T) {
+	good := Properties{Style: Active, InitialReplicas: 3, MinReplicas: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Properties{
+		{Style: ReplicationStyle(42), InitialReplicas: 1, MinReplicas: 1},
+		{Style: Active, InitialReplicas: 0, MinReplicas: 0},
+		{Style: Active, InitialReplicas: 2, MinReplicas: 3},
+		{Style: WarmPassive, InitialReplicas: 2, MinReplicas: 1}, // no checkpoint interval
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, p)
+		}
+	}
+	warm := Properties{Style: WarmPassive, InitialReplicas: 2, MinReplicas: 1, CheckpointInterval: time.Second}
+	if err := warm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServantDelegatesApplicationOps(t *testing.T) {
+	c := &counter{}
+	sv := Servant(c)
+	out, err := sv.Invoke("incr", nil, cdr.BigEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := cdr.NewDecoder(out, cdr.BigEndian)
+	if v, _ := d.ReadLongLong(); v != 1 {
+		t.Fatalf("value = %d", v)
+	}
+}
+
+func TestServantGetSetState(t *testing.T) {
+	c := &counter{value: 42}
+	sv := Servant(c)
+	raw, err := sv.Invoke(OpGetState, nil, cdr.BigEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := anyval.UnmarshalBytes(raw)
+	if err != nil || st.Value != int64(42) {
+		t.Fatalf("state = %+v, %v", st, err)
+	}
+
+	// Assign the captured state to a fresh replica.
+	c2 := &counter{}
+	sv2 := Servant(c2)
+	if _, err := sv2.Invoke(OpSetState, raw, cdr.BigEndian); err != nil {
+		t.Fatal(err)
+	}
+	if c2.value != 42 {
+		t.Fatalf("value after set_state = %d", c2.value)
+	}
+}
+
+func TestServantNoStateAvailable(t *testing.T) {
+	sv := Servant(&counter{noState: true})
+	_, err := sv.Invoke(OpGetState, nil, cdr.BigEndian)
+	ue, ok := orb.AsUserException(err)
+	if !ok || ue.Name != ExNoStateAvailable {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestServantInvalidState(t *testing.T) {
+	sv := Servant(&counter{})
+	// Garbage bytes are not a valid Any.
+	_, err := sv.Invoke(OpSetState, []byte{0xFF, 0xFF}, cdr.BigEndian)
+	ue, ok := orb.AsUserException(err)
+	if !ok || ue.Name != ExInvalidState {
+		t.Fatalf("garbage: err = %v", err)
+	}
+	// A well-formed Any of the wrong type is also InvalidState.
+	raw, _ := anyval.FromString("wrong").MarshalBytes()
+	_, err = sv.Invoke(OpSetState, raw, cdr.BigEndian)
+	ue, ok = orb.AsUserException(err)
+	if !ok || ue.Name != ExInvalidState {
+		t.Fatalf("wrong type: err = %v", err)
+	}
+}
+
+func TestCheckpointableRoundTripThroughWire(t *testing.T) {
+	// get_state -> wire bytes -> set_state is the paper's three-phase
+	// state transfer for application-level state.
+	src := &counter{value: 7}
+	for i := 0; i < 5; i++ {
+		src.Invoke("incr", nil, cdr.BigEndian)
+	}
+	raw, err := Servant(src).Invoke(OpGetState, nil, cdr.BigEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := &counter{}
+	if _, err := Servant(dst).Invoke(OpSetState, raw, cdr.BigEndian); err != nil {
+		t.Fatal(err)
+	}
+	if dst.value != 12 {
+		t.Fatalf("dst.value = %d, want 12", dst.value)
+	}
+	if !errors.Is(ErrNoStateAvailable, ErrNoStateAvailable) {
+		t.Fatal("sentinel identity broken")
+	}
+}

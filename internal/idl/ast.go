@@ -1,0 +1,165 @@
+// Package idl implements a compiler for the subset of OMG IDL this
+// project's applications use: modules, structs, exceptions, and
+// interfaces with `in`-parameter operations (two-way and oneway). It
+// generates Go type definitions, CDR marshaling, typed client stubs and
+// servant skeletons — the role the vendor's IDL compiler plays in a CORBA
+// toolchain.
+//
+// Grammar (informally):
+//
+//	module      ::= "module" ident "{" definition* "}" ";"
+//	definition  ::= struct | exception | interface
+//	struct      ::= "struct" ident "{" member* "}" ";"
+//	exception   ::= "exception" ident "{" member* "}" ";"
+//	member      ::= type ident ";"
+//	interface   ::= "interface" ident "{" operation* "}" ";"
+//	operation   ::= ["oneway"] type ident "(" params ")" ["raises" "(" ident,* ")"] ";"
+//	params      ::= [ "in" type ident ("," "in" type ident)* ]
+//	type        ::= "void" | "boolean" | "octet" | "short" | "long"
+//	              | "long" "long" | "unsigned" ... | "float" | "double"
+//	              | "string" | "sequence" "<" type ">" | ident (struct ref)
+//
+// Comments (`//` and `/* */`) are skipped. `oneway` operations must
+// return `void` and may not raise.
+package idl
+
+import "fmt"
+
+// Kind enumerates the IDL types the compiler supports.
+type Kind int
+
+// Supported type kinds.
+const (
+	KVoid Kind = iota
+	KBoolean
+	KOctet
+	KShort
+	KUShort
+	KLong
+	KULong
+	KLongLong
+	KULongLong
+	KFloat
+	KDouble
+	KString
+	KSequence
+	KStructRef
+	KEnumRef
+)
+
+// Type is a resolved IDL type.
+type Type struct {
+	Kind Kind
+	// Elem is the element type of a sequence.
+	Elem *Type
+	// Name is the referenced struct/exception name for KStructRef.
+	Name string
+}
+
+// String renders the type IDL-ishly.
+func (t *Type) String() string {
+	switch t.Kind {
+	case KVoid:
+		return "void"
+	case KBoolean:
+		return "boolean"
+	case KOctet:
+		return "octet"
+	case KShort:
+		return "short"
+	case KUShort:
+		return "unsigned short"
+	case KLong:
+		return "long"
+	case KULong:
+		return "unsigned long"
+	case KLongLong:
+		return "long long"
+	case KULongLong:
+		return "unsigned long long"
+	case KFloat:
+		return "float"
+	case KDouble:
+		return "double"
+	case KString:
+		return "string"
+	case KSequence:
+		return fmt.Sprintf("sequence<%s>", t.Elem)
+	case KStructRef, KEnumRef:
+		return t.Name
+	default:
+		return fmt.Sprintf("Kind(%d)", int(t.Kind))
+	}
+}
+
+// Member is one field of a struct or exception.
+type Member struct {
+	Type *Type
+	Name string
+}
+
+// Struct is an IDL struct or exception body.
+type Struct struct {
+	Name    string
+	Members []Member
+	// Exception marks exception declarations (they get Error()).
+	Exception bool
+}
+
+// Param is one operation parameter (only `in` is supported).
+type Param struct {
+	Type *Type
+	Name string
+}
+
+// Operation is one interface operation.
+type Operation struct {
+	Name   string
+	Return *Type
+	Params []Param
+	Raises []string
+	Oneway bool
+}
+
+// Interface is an IDL interface.
+type Interface struct {
+	Name string
+	Ops  []Operation
+}
+
+// Enum is an IDL enum (ulong on the wire, per CDR).
+type Enum struct {
+	Name   string
+	Values []string
+}
+
+// Module is one parsed IDL module.
+type Module struct {
+	Name       string
+	Structs    []Struct
+	Enums      []Enum
+	Interfaces []Interface
+}
+
+// RepoID returns the repository id of a name in this module.
+func (m *Module) RepoID(name string) string {
+	return fmt.Sprintf("IDL:%s/%s:1.0", m.Name, name)
+}
+
+func (m *Module) structByName(name string) (*Struct, bool) {
+	for i := range m.Structs {
+		if m.Structs[i].Name == name {
+			return &m.Structs[i], true
+		}
+	}
+	return nil, false
+}
+
+func (m *Module) enumByName(name string) (*Enum, bool) {
+	for i := range m.Enums {
+		if m.Enums[i].Name == name {
+			return &m.Enums[i], true
+		}
+	}
+	return nil, false
+}

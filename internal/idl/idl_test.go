@@ -1,0 +1,289 @@
+package idl
+
+import (
+	"bytes"
+	"go/format"
+	"os"
+	"strings"
+	"testing"
+)
+
+const bankIDL = `
+// The canonical test module.
+module Bank {
+	struct Entry {
+		string who;
+		long long amount;
+	};
+	exception InsufficientFunds {
+		long long balance;
+	};
+	interface Account {
+		long long deposit(in string acct, in long long amount);
+		long long withdraw(in string acct, in long long amount) raises (InsufficientFunds);
+		sequence<Entry> history(in string acct);
+		boolean frozen(in string acct);
+		/* a oneway */
+		oneway void note(in string msg);
+		double rate();
+	};
+};
+`
+
+func TestParseBank(t *testing.T) {
+	m, err := Parse(bankIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "Bank" {
+		t.Fatalf("module = %q", m.Name)
+	}
+	if len(m.Structs) != 2 || len(m.Interfaces) != 1 {
+		t.Fatalf("structs=%d interfaces=%d", len(m.Structs), len(m.Interfaces))
+	}
+	if !m.Structs[1].Exception || m.Structs[1].Name != "InsufficientFunds" {
+		t.Fatalf("exception = %+v", m.Structs[1])
+	}
+	ops := m.Interfaces[0].Ops
+	if len(ops) != 6 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	if ops[1].Raises[0] != "InsufficientFunds" {
+		t.Fatalf("raises = %v", ops[1].Raises)
+	}
+	if ops[2].Return.Kind != KSequence || ops[2].Return.Elem.Kind != KStructRef {
+		t.Fatalf("history return = %v", ops[2].Return)
+	}
+	if !ops[4].Oneway || ops[4].Return.Kind != KVoid {
+		t.Fatalf("oneway = %+v", ops[4])
+	}
+	if m.RepoID("Account") != "IDL:Bank/Account:1.0" {
+		t.Fatalf("repo id = %q", m.RepoID("Account"))
+	}
+}
+
+func TestParseTypes(t *testing.T) {
+	m, err := Parse(`module T {
+		struct All {
+			boolean b; octet o; short s; unsigned short us;
+			long l; unsigned long ul; long long ll; unsigned long long ull;
+			float f; double d; string str;
+			sequence<octet> blob; sequence<string> names;
+		};
+	};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KBoolean, KOctet, KShort, KUShort, KLong, KULong, KLongLong,
+		KULongLong, KFloat, KDouble, KString, KSequence, KSequence}
+	ms := m.Structs[0].Members
+	if len(ms) != len(want) {
+		t.Fatalf("members = %d", len(ms))
+	}
+	for i, k := range want {
+		if ms[i].Type.Kind != k {
+			t.Errorf("member %d kind = %v, want %v", i, ms[i].Type.Kind, k)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no module", `interface X {};`},
+		{"unterminated comment", "module M { /* oops };"},
+		{"void member", `module M { struct S { void v; }; };`},
+		{"out param", `module M { interface I { void f(out long x); }; };`},
+		{"oneway nonvoid", `module M { interface I { oneway long f(); }; };`},
+		{"oneway raises", `module M { exception E {}; interface I { oneway void f() raises (E); }; };`},
+		{"undefined type", `module M { interface I { Ghost f(); }; };`},
+		{"exception as type", `module M { exception E {}; struct S { E e; }; };`},
+		{"raises unknown", `module M { interface I { void f() raises (Nope); }; };`},
+		{"unsigned string", `module M { struct S { unsigned string x; }; };`},
+		{"trailing garbage", `module M {}; extra`},
+		{"bad char", `module M { @ };`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.src); err == nil {
+				t.Fatalf("expected error for %q", tc.src)
+			}
+		})
+	}
+}
+
+func TestGoNames(t *testing.T) {
+	cases := map[string]string{
+		"deposit":            "Deposit",
+		"insufficient_funds": "InsufficientFunds",
+		"a":                  "A",
+		"get_state":          "GetState",
+	}
+	for in, want := range cases {
+		if got := goName(in); got != want {
+			t.Errorf("goName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGenerateCompilesAsGo(t *testing.T) {
+	m, err := Parse(bankIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Generate(m, "bankgen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatted, err := format.Source(code)
+	if err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, code)
+	}
+	out := string(formatted)
+	// Structural spot checks on the artifacts.
+	for _, want := range []string{
+		"type Entry struct",
+		"type InsufficientFunds struct",
+		"func (e *InsufficientFunds) Error() string",
+		"const RepoIDInsufficientFunds = \"IDL:Bank/InsufficientFunds:1.0\"",
+		"type Account interface",
+		"Deposit(Acct string, Amount int64) (int64, error)",
+		"History(Acct string) ([]Entry, error)",
+		"Note(Msg string) error",
+		"type AccountServant struct",
+		"func (s AccountServant) Invoke(",
+		"type AccountStub struct",
+		"var _ Account = AccountStub{}",
+		"InvokeOneway(\"note\"",
+		"errToBankWire",
+		"errFromBankWire",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("generated code lacks %q", want)
+		}
+	}
+}
+
+func TestGenerateEmptyInterface(t *testing.T) {
+	m, err := Parse(`module M { interface Empty {}; };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Generate(m, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := format.Source(code); err != nil {
+		t.Fatalf("empty interface output invalid: %v\n%s", err, code)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m, _ := Parse(bankIDL)
+	a, _ := Generate(m, "x")
+	b, _ := Generate(m, "x")
+	if string(a) != string(b) {
+		t.Fatal("generation must be deterministic")
+	}
+}
+
+// TestCommittedBankgenIsFresh regenerates examples/bankidl/bankgen from
+// its IDL source and verifies the committed file matches — the generator
+// and the example can never drift apart.
+func TestCommittedBankgenIsFresh(t *testing.T) {
+	src, err := os.ReadFile("../../examples/bankidl/bankgen/bank.idl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Generate(m, "bankgen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := format.Source(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile("../../examples/bankidl/bankgen/bank_gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("committed bank_gen.go is stale; regenerate with cmd/idlgen")
+	}
+}
+
+func TestEnumAndTypedef(t *testing.T) {
+	src := `module Shop {
+		enum Status { PENDING, SHIPPED, DELIVERED };
+		typedef sequence<string> NameList;
+		typedef long long Money;
+		struct Order {
+			string item;
+			Status status;
+			Money total;
+		};
+		interface Orders {
+			Status advance(in string item);
+			NameList names(in Status filter);
+			Money sum(in NameList items);
+		};
+	};`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Enums) != 1 || len(m.Enums[0].Values) != 3 {
+		t.Fatalf("enums = %+v", m.Enums)
+	}
+	// Typedefs resolve away.
+	ord, _ := m.structByName("Order")
+	if ord.Members[1].Type.Kind != KEnumRef {
+		t.Fatalf("status member = %v", ord.Members[1].Type)
+	}
+	if ord.Members[2].Type.Kind != KLongLong {
+		t.Fatalf("money member = %v", ord.Members[2].Type)
+	}
+	ops := m.Interfaces[0].Ops
+	if ops[1].Return.Kind != KSequence || ops[1].Return.Elem.Kind != KString {
+		t.Fatalf("names return = %v", ops[1].Return)
+	}
+
+	code, err := Generate(m, "shop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatted, err := format.Source(code)
+	if err != nil {
+		t.Fatalf("generated enum code invalid: %v\n%s", err, code)
+	}
+	out := string(formatted)
+	for _, want := range []string{
+		"type Status uint32",
+		"StatusPending", // gofmt column-aligns the const block
+		"StatusDelivered Status = 2",
+		"func decodeStatus(d *cdr.Decoder) (Status, error)",
+		"Advance(Item string) (Status, error)",
+		"Sum(Items []string) (int64, error)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("generated code lacks %q", want)
+		}
+	}
+}
+
+func TestEnumErrors(t *testing.T) {
+	cases := []string{
+		`module M { enum E {}; };`,                           // empty enum
+		`module M { typedef void V; };`,                      // void typedef
+		`module M { typedef long X; typedef long X; };`,      // duplicate
+		`module M { interface I { void f(in Ghost g); }; };`, // unresolved
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}

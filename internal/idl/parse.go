@@ -1,0 +1,508 @@
+package idl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseError carries the rough source position of a syntax error.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string { return fmt.Sprintf("idl: line %d: %s", e.Line, e.Msg) }
+
+// token kinds.
+const (
+	tkIdent = iota
+	tkPunct // one of { } ( ) < > , ;
+	tkEOF
+)
+
+type token struct {
+	kind int
+	text string
+	line int
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &ParseError{Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case unicode.IsSpace(c):
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for {
+				if l.pos+1 >= len(l.src) {
+					return token{}, l.errf("unterminated block comment")
+				}
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				if l.src[l.pos] == '*' && l.src[l.pos+1] == '/' {
+					l.pos += 2
+					break
+				}
+				l.pos++
+			}
+		case strings.ContainsRune("{}()<>,;", c):
+			l.pos++
+			return token{kind: tkPunct, text: string(c), line: l.line}, nil
+		case unicode.IsLetter(c) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+				l.pos++
+			}
+			return token{kind: tkIdent, text: string(l.src[start:l.pos]), line: l.line}, nil
+		default:
+			return token{}, l.errf("unexpected character %q", c)
+		}
+	}
+	return token{kind: tkEOF, line: l.line}, nil
+}
+
+type parser struct {
+	lex      *lexer
+	tok      token
+	module   *Module
+	typedefs map[string]*Type
+}
+
+// Parse compiles IDL source into a Module.
+func Parse(src string) (*Module, error) {
+	p := &parser{lex: newLexer(src), typedefs: make(map[string]*Type)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	m, err := p.parseModule()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tkEOF {
+		return nil, p.errf("unexpected %q after module", p.tok.text)
+	}
+	return m, p.resolve(m)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.tok.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expectIdent(word string) error {
+	if p.tok.kind != tkIdent || (word != "" && p.tok.text != word) {
+		return p.errf("expected %q, found %q", word, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) takeIdent() (string, error) {
+	if p.tok.kind != tkIdent {
+		return "", p.errf("expected identifier, found %q", p.tok.text)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.tok.kind != tkPunct || p.tok.text != s {
+		return p.errf("expected %q, found %q", s, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	if err := p.expectIdent("module"); err != nil {
+		return nil, err
+	}
+	name, err := p.takeIdent()
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name}
+	p.module = m
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !(p.tok.kind == tkPunct && p.tok.text == "}") {
+		if p.tok.kind != tkIdent {
+			return nil, p.errf("expected definition, found %q", p.tok.text)
+		}
+		switch p.tok.text {
+		case "struct", "exception":
+			s, err := p.parseStruct(p.tok.text == "exception")
+			if err != nil {
+				return nil, err
+			}
+			m.Structs = append(m.Structs, *s)
+		case "enum":
+			e, err := p.parseEnum()
+			if err != nil {
+				return nil, err
+			}
+			m.Enums = append(m.Enums, *e)
+		case "typedef":
+			if err := p.parseTypedef(); err != nil {
+				return nil, err
+			}
+		case "interface":
+			itf, err := p.parseInterface()
+			if err != nil {
+				return nil, err
+			}
+			m.Interfaces = append(m.Interfaces, *itf)
+		default:
+			return nil, p.errf("unknown definition %q", p.tok.text)
+		}
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	return m, p.expectPunct(";")
+}
+
+func (p *parser) parseStruct(exception bool) (*Struct, error) {
+	if err := p.advance(); err != nil { // struct / exception keyword
+		return nil, err
+	}
+	name, err := p.takeIdent()
+	if err != nil {
+		return nil, err
+	}
+	s := &Struct{Name: name, Exception: exception}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !(p.tok.kind == tkPunct && p.tok.text == "}") {
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == KVoid {
+			return nil, p.errf("void is not a member type")
+		}
+		mname, err := p.takeIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		s.Members = append(s.Members, Member{Type: t, Name: mname})
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	return s, p.expectPunct(";")
+}
+
+func (p *parser) parseInterface() (*Interface, error) {
+	if err := p.advance(); err != nil { // interface
+		return nil, err
+	}
+	name, err := p.takeIdent()
+	if err != nil {
+		return nil, err
+	}
+	itf := &Interface{Name: name}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !(p.tok.kind == tkPunct && p.tok.text == "}") {
+		op, err := p.parseOperation()
+		if err != nil {
+			return nil, err
+		}
+		itf.Ops = append(itf.Ops, *op)
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	return itf, p.expectPunct(";")
+}
+
+func (p *parser) parseOperation() (*Operation, error) {
+	var op Operation
+	if p.tok.kind == tkIdent && p.tok.text == "oneway" {
+		op.Oneway = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	ret, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	op.Return = ret
+	if op.Name, err = p.takeIdent(); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for !(p.tok.kind == tkPunct && p.tok.text == ")") {
+		if len(op.Params) > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectIdent("in"); err != nil {
+			return nil, fmt.Errorf("%w (only `in` parameters are supported)", err)
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == KVoid {
+			return nil, p.errf("void is not a parameter type")
+		}
+		pname, err := p.takeIdent()
+		if err != nil {
+			return nil, err
+		}
+		op.Params = append(op.Params, Param{Type: t, Name: pname})
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tkIdent && p.tok.text == "raises" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		for !(p.tok.kind == tkPunct && p.tok.text == ")") {
+			if len(op.Raises) > 0 {
+				if err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+			}
+			ename, err := p.takeIdent()
+			if err != nil {
+				return nil, err
+			}
+			op.Raises = append(op.Raises, ename)
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if op.Oneway && (op.Return.Kind != KVoid || len(op.Raises) > 0) {
+		return nil, p.errf("oneway operation %q must return void and raise nothing", op.Name)
+	}
+	return &op, p.expectPunct(";")
+}
+
+func (p *parser) parseEnum() (*Enum, error) {
+	if err := p.advance(); err != nil { // enum
+		return nil, err
+	}
+	name, err := p.takeIdent()
+	if err != nil {
+		return nil, err
+	}
+	e := &Enum{Name: name}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !(p.tok.kind == tkPunct && p.tok.text == "}") {
+		if len(e.Values) > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		v, err := p.takeIdent()
+		if err != nil {
+			return nil, err
+		}
+		e.Values = append(e.Values, v)
+	}
+	if len(e.Values) == 0 {
+		return nil, p.errf("enum %q has no values", name)
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	return e, p.expectPunct(";")
+}
+
+// parseTypedef records an alias; aliases are resolved away at use sites,
+// so generated code sees only the underlying type.
+func (p *parser) parseTypedef() error {
+	if err := p.advance(); err != nil { // typedef
+		return err
+	}
+	t, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	if t.Kind == KVoid {
+		return p.errf("typedef of void")
+	}
+	name, err := p.takeIdent()
+	if err != nil {
+		return err
+	}
+	if _, dup := p.typedefs[name]; dup {
+		return p.errf("duplicate typedef %q", name)
+	}
+	p.typedefs[name] = t
+	return p.expectPunct(";")
+}
+
+func (p *parser) parseType() (*Type, error) {
+	word, err := p.takeIdent()
+	if err != nil {
+		return nil, err
+	}
+	switch word {
+	case "void":
+		return &Type{Kind: KVoid}, nil
+	case "boolean":
+		return &Type{Kind: KBoolean}, nil
+	case "octet":
+		return &Type{Kind: KOctet}, nil
+	case "short":
+		return &Type{Kind: KShort}, nil
+	case "float":
+		return &Type{Kind: KFloat}, nil
+	case "double":
+		return &Type{Kind: KDouble}, nil
+	case "string":
+		return &Type{Kind: KString}, nil
+	case "long":
+		if p.tok.kind == tkIdent && p.tok.text == "long" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &Type{Kind: KLongLong}, nil
+		}
+		return &Type{Kind: KLong}, nil
+	case "unsigned":
+		inner, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		switch inner.Kind {
+		case KShort:
+			return &Type{Kind: KUShort}, nil
+		case KLong:
+			return &Type{Kind: KULong}, nil
+		case KLongLong:
+			return &Type{Kind: KULongLong}, nil
+		default:
+			return nil, p.errf("unsigned %s is not a type", inner)
+		}
+	case "sequence":
+		if err := p.expectPunct("<"); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if elem.Kind == KVoid {
+			return nil, p.errf("sequence<void> is not a type")
+		}
+		if err := p.expectPunct(">"); err != nil {
+			return nil, err
+		}
+		return &Type{Kind: KSequence, Elem: elem}, nil
+	default:
+		if alias, ok := p.typedefs[word]; ok {
+			return alias, nil
+		}
+		return &Type{Kind: KStructRef, Name: word}, nil
+	}
+}
+
+// resolve validates struct references and raises clauses.
+func (p *parser) resolve(m *Module) error {
+	var checkType func(t *Type) error
+	checkType = func(t *Type) error {
+		switch t.Kind {
+		case KStructRef:
+			if _, ok := m.enumByName(t.Name); ok {
+				// An identifier reference that names an enum.
+				t.Kind = KEnumRef
+				return nil
+			}
+			s, ok := m.structByName(t.Name)
+			if !ok {
+				return fmt.Errorf("idl: undefined type %q", t.Name)
+			}
+			if s.Exception {
+				return fmt.Errorf("idl: exception %q used as a data type", t.Name)
+			}
+		case KEnumRef:
+			if _, ok := m.enumByName(t.Name); !ok {
+				return fmt.Errorf("idl: undefined enum %q", t.Name)
+			}
+		case KSequence:
+			return checkType(t.Elem)
+		}
+		return nil
+	}
+	for _, s := range m.Structs {
+		for _, mem := range s.Members {
+			if err := checkType(mem.Type); err != nil {
+				return err
+			}
+		}
+	}
+	for _, itf := range m.Interfaces {
+		for _, op := range itf.Ops {
+			if op.Return.Kind != KVoid {
+				if err := checkType(op.Return); err != nil {
+					return err
+				}
+			}
+			for _, pa := range op.Params {
+				if err := checkType(pa.Type); err != nil {
+					return err
+				}
+			}
+			for _, r := range op.Raises {
+				s, ok := m.structByName(r)
+				if !ok || !s.Exception {
+					return fmt.Errorf("idl: operation %s raises unknown exception %q", op.Name, r)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+// Package interceptor implements Eternal's socket-level IIOP interception
+// (paper §2, footnote 1): it sits below the ORB, above the transport, and
+// diverts the ORB's IIOP byte streams into the Replication Mechanisms
+// without the ORB or the application noticing.
+//
+// The real Eternal interposes on the Solaris socket calls; in Go the same
+// layer is the net.Conn boundary, so the interceptor is a Dialer the
+// client ORB uses and a factory of in-memory connections the server ORB
+// serves. Endpoints that are not registered as replicated targets fall
+// through to plain TCP, preserving transparency for mixed deployments.
+//
+// The package also provides the GIOP header-rewriting primitives the
+// mechanisms use to keep ORB-level state consistent across recovery
+// (paper §4.2.1): translating the per-connection request_id between a
+// replica's local ORB counter and the object group's logical counter.
+package interceptor
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"eternal/internal/giop"
+	"eternal/internal/orb"
+)
+
+// AcceptFunc receives the mechanisms' end of a diverted connection, with
+// the port the ORB dialed.
+type AcceptFunc func(mechEnd net.Conn, port uint16)
+
+// Interceptor diverts connections to registered virtual hosts into the
+// Replication Mechanisms and passes everything else to a fallback dialer.
+type Interceptor struct {
+	mu       sync.Mutex
+	routes   map[string]AcceptFunc
+	fallback orb.Dialer
+}
+
+var _ orb.Dialer = (*Interceptor)(nil)
+
+// New creates an interceptor. fallback may be nil, in which case dialing
+// an unregistered host fails (fully-replicated deployments).
+func New(fallback orb.Dialer) *Interceptor {
+	return &Interceptor{routes: make(map[string]AcceptFunc), fallback: fallback}
+}
+
+// Register diverts all future connections to host into accept.
+func (i *Interceptor) Register(host string, accept AcceptFunc) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.routes[host] = accept
+}
+
+// Unregister removes a diversion.
+func (i *Interceptor) Unregister(host string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	delete(i.routes, host)
+}
+
+// Dial implements orb.Dialer: registered hosts get an in-memory pipe whose
+// far end is handed to the AcceptFunc; others fall through.
+func (i *Interceptor) Dial(host string, port uint16) (net.Conn, error) {
+	i.mu.Lock()
+	accept, ok := i.routes[host]
+	i.mu.Unlock()
+	if !ok {
+		if i.fallback == nil {
+			return nil, fmt.Errorf("interceptor: no route to %q and no fallback dialer", host)
+		}
+		return i.fallback.Dial(host, port)
+	}
+	orbEnd, mechEnd := Pipe()
+	go accept(mechEnd, port)
+	return orbEnd, nil
+}
+
+// RewriteRequestID returns a copy of a GIOP Request message with its
+// request_id replaced — the mechanism by which Eternal maps a recovered
+// replica's local ORB request_id counter onto the group's logical counter
+// so that "the GIOP headers of all outgoing IIOP request messages from
+// both new and existing replicas are consistent" (paper §4.2.1).
+func RewriteRequestID(m *giop.Message, id uint32) (*giop.Message, error) {
+	req, err := giop.ParseRequest(m)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.RequestID = id
+	return giop.EncodeRequest(m.Version, m.Order, &req.Header, req.Args), nil
+}
+
+// RewriteReplyID returns a copy of a GIOP Reply message with its
+// request_id replaced (the inbound direction of the same translation).
+func RewriteReplyID(m *giop.Message, id uint32) (*giop.Message, error) {
+	rep, err := giop.ParseReply(m)
+	if err != nil {
+		return nil, err
+	}
+	rep.Header.RequestID = id
+	return giop.EncodeReply(m.Version, m.Order, &rep.Header, rep.Result), nil
+}

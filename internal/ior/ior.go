@@ -1,0 +1,369 @@
+// Package ior implements CORBA Interoperable Object References (IORs):
+// the repository-id + tagged-profile bundles that clients use to reach
+// objects, including their standard "IOR:..." stringified form.
+//
+// It also implements the FT-CORBA extensions the paper's Eternal system
+// relies on: the TAG_FT_GROUP component that turns a plain IOR into an
+// Interoperable Object Group Reference (IOGR) naming a replicated object
+// group, and the TAG_FT_PRIMARY component marking the primary's profile
+// under passive replication.
+package ior
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+
+	"eternal/internal/cdr"
+)
+
+// Profile tags from the OMG-administered space.
+const (
+	// TagInternetIOP is the standard IIOP profile (TAG_INTERNET_IOP).
+	TagInternetIOP uint32 = 0
+	// TagMultipleComponents is TAG_MULTIPLE_COMPONENTS.
+	TagMultipleComponents uint32 = 1
+)
+
+// Component tags used inside IIOP profiles.
+const (
+	// TagORBType identifies the ORB vendor/build (TAG_ORB_TYPE).
+	TagORBType uint32 = 0
+	// TagCodeSets carries the server's supported code sets (TAG_CODE_SETS).
+	TagCodeSets uint32 = 1
+	// TagFTGroup marks an object-group reference (FT-CORBA TAG_FT_GROUP).
+	TagFTGroup uint32 = 27
+	// TagFTPrimary marks the primary member's profile (TAG_FT_PRIMARY).
+	TagFTPrimary uint32 = 28
+	// TagFTHeartbeatEnabled signals heartbeat support (TAG_FT_HEARTBEAT_ENABLED).
+	TagFTHeartbeatEnabled uint32 = 29
+)
+
+// ORBTypeEternalGo is the TAG_ORB_TYPE value of this implementation's
+// mini-ORB (a vendor-space constant, "ET" + version).
+const ORBTypeEternalGo uint32 = 0x4554_0001
+
+// Errors reported when parsing references.
+var (
+	ErrNotStringified = errors.New("ior: string does not begin with \"IOR:\"")
+	ErrOddHex         = errors.New("ior: stringified form has odd hex length")
+	ErrNoIIOPProfile  = errors.New("ior: reference carries no IIOP profile")
+)
+
+// TaggedComponent is one (tag, encapsulated data) pair inside a profile.
+type TaggedComponent struct {
+	Tag  uint32
+	Data []byte
+}
+
+// IIOPProfile is the body of a TAG_INTERNET_IOP profile: the endpoint and
+// object key, plus (IIOP 1.1+) tagged components.
+type IIOPProfile struct {
+	Major      byte
+	Minor      byte
+	Host       string
+	Port       uint16
+	ObjectKey  []byte
+	Components []TaggedComponent
+}
+
+// TaggedProfile is one raw profile of an IOR.
+type TaggedProfile struct {
+	Tag  uint32
+	Data []byte
+}
+
+// IOR is a CORBA object reference: a repository id ("type id") plus one or
+// more tagged profiles.
+type IOR struct {
+	TypeID   string
+	Profiles []TaggedProfile
+}
+
+// FTGroupInfo is the decoded body of a TAG_FT_GROUP component: the
+// replicated object's group identity and version, exactly the information
+// Eternal's Replication Mechanisms key on.
+type FTGroupInfo struct {
+	// FTDomainID scopes group ids, e.g. one fault-tolerance domain per
+	// deployment.
+	FTDomainID string
+	// GroupID is the object group's unique id within the domain.
+	GroupID uint64
+	// GroupVersion increments whenever the membership changes, letting
+	// clients detect stale references.
+	GroupVersion uint32
+}
+
+// MarshalProfile encodes an IIOPProfile into a TaggedProfile.
+func MarshalProfile(p *IIOPProfile) TaggedProfile {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteEncapsulation(cdr.BigEndian, func(inner *cdr.Encoder) {
+		inner.WriteOctet(p.Major)
+		inner.WriteOctet(p.Minor)
+		inner.WriteString(p.Host)
+		inner.WriteUShort(p.Port)
+		inner.WriteOctetSeq(p.ObjectKey)
+		if p.Minor >= 1 {
+			inner.WriteULong(uint32(len(p.Components)))
+			for _, c := range p.Components {
+				inner.WriteULong(c.Tag)
+				inner.WriteOctetSeq(c.Data)
+			}
+		}
+	})
+	// The encapsulation writer prefixed a length we do not want in the
+	// profile's Data field (profiles store the encapsulation bytes
+	// directly); decode it back out.
+	d := cdr.NewDecoder(e.Bytes(), cdr.BigEndian)
+	data, err := d.ReadOctetSeq()
+	if err != nil {
+		panic("ior: internal marshal error: " + err.Error())
+	}
+	return TaggedProfile{Tag: TagInternetIOP, Data: data}
+}
+
+// ParseProfile decodes a TAG_INTERNET_IOP profile body.
+func ParseProfile(tp TaggedProfile) (*IIOPProfile, error) {
+	if tp.Tag != TagInternetIOP {
+		return nil, fmt.Errorf("ior: profile tag %d is not TAG_INTERNET_IOP", tp.Tag)
+	}
+	d, err := cdr.NewEncapsulationDecoder(tp.Data)
+	if err != nil {
+		return nil, err
+	}
+	var p IIOPProfile
+	if p.Major, err = d.ReadOctet(); err != nil {
+		return nil, err
+	}
+	if p.Minor, err = d.ReadOctet(); err != nil {
+		return nil, err
+	}
+	if p.Host, err = d.ReadString(); err != nil {
+		return nil, err
+	}
+	if p.Port, err = d.ReadUShort(); err != nil {
+		return nil, err
+	}
+	if p.ObjectKey, err = d.ReadOctetSeq(); err != nil {
+		return nil, err
+	}
+	if p.Minor >= 1 && d.Remaining() > 0 {
+		n, err := d.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint32(0); i < n; i++ {
+			tag, err := d.ReadULong()
+			if err != nil {
+				return nil, err
+			}
+			data, err := d.ReadOctetSeq()
+			if err != nil {
+				return nil, err
+			}
+			p.Components = append(p.Components, TaggedComponent{Tag: tag, Data: data})
+		}
+	}
+	return &p, nil
+}
+
+// EncodeTo appends the IOR's CDR form to an encoder, honoring the
+// encoder's current alignment origin.
+func (r *IOR) EncodeTo(e *cdr.Encoder) {
+	e.WriteString(r.TypeID)
+	e.WriteULong(uint32(len(r.Profiles)))
+	for _, p := range r.Profiles {
+		e.WriteULong(p.Tag)
+		e.WriteOctetSeq(p.Data)
+	}
+}
+
+// Marshal encodes the IOR as a standalone big-endian CDR stream whose
+// alignment origin is the first byte of the result.
+func (r *IOR) Marshal() []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	r.EncodeTo(e)
+	return e.Bytes()
+}
+
+// Unmarshal decodes an IOR from its CDR form.
+func Unmarshal(buf []byte) (*IOR, error) {
+	d := cdr.NewDecoder(buf, cdr.BigEndian)
+	return decodeIOR(d)
+}
+
+func decodeIOR(d *cdr.Decoder) (*IOR, error) {
+	var r IOR
+	var err error
+	if r.TypeID, err = d.ReadString(); err != nil {
+		return nil, err
+	}
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < n; i++ {
+		tag, err := d.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		data, err := d.ReadOctetSeq()
+		if err != nil {
+			return nil, err
+		}
+		r.Profiles = append(r.Profiles, TaggedProfile{Tag: tag, Data: data})
+	}
+	return &r, nil
+}
+
+// String produces the standard stringified form: "IOR:" followed by the
+// hex encoding of a CDR encapsulation of the reference.
+func (r *IOR) String() string {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(byte(cdr.BigEndian))
+	r.EncodeTo(e)
+	return "IOR:" + hex.EncodeToString(e.Bytes())
+}
+
+// ParseString decodes a stringified "IOR:..." reference.
+func ParseString(s string) (*IOR, error) {
+	rest, ok := strings.CutPrefix(s, "IOR:")
+	if !ok {
+		return nil, ErrNotStringified
+	}
+	raw, err := hex.DecodeString(rest)
+	if err != nil {
+		return nil, fmt.Errorf("ior: %w", err)
+	}
+	d, err := cdr.NewEncapsulationDecoder(raw)
+	if err != nil {
+		return nil, err
+	}
+	return decodeIOR(d)
+}
+
+// FirstIIOPProfile returns the first parsed IIOP profile of the reference.
+func (r *IOR) FirstIIOPProfile() (*IIOPProfile, error) {
+	for _, tp := range r.Profiles {
+		if tp.Tag == TagInternetIOP {
+			return ParseProfile(tp)
+		}
+	}
+	return nil, ErrNoIIOPProfile
+}
+
+// FindComponent returns the first component with the given tag in the
+// profile, or nil.
+func (p *IIOPProfile) FindComponent(tag uint32) *TaggedComponent {
+	for i := range p.Components {
+		if p.Components[i].Tag == tag {
+			return &p.Components[i]
+		}
+	}
+	return nil
+}
+
+// MarshalFTGroup encodes group info as a TAG_FT_GROUP component.
+func MarshalFTGroup(g *FTGroupInfo) TaggedComponent {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteEncapsulation(cdr.BigEndian, func(inner *cdr.Encoder) {
+		inner.WriteString(g.FTDomainID)
+		inner.WriteULongLong(g.GroupID)
+		inner.WriteULong(g.GroupVersion)
+	})
+	d := cdr.NewDecoder(e.Bytes(), cdr.BigEndian)
+	data, err := d.ReadOctetSeq()
+	if err != nil {
+		panic("ior: internal marshal error: " + err.Error())
+	}
+	return TaggedComponent{Tag: TagFTGroup, Data: data}
+}
+
+// ParseFTGroup decodes a TAG_FT_GROUP component body.
+func ParseFTGroup(c TaggedComponent) (*FTGroupInfo, error) {
+	if c.Tag != TagFTGroup {
+		return nil, fmt.Errorf("ior: component tag %d is not TAG_FT_GROUP", c.Tag)
+	}
+	d, err := cdr.NewEncapsulationDecoder(c.Data)
+	if err != nil {
+		return nil, err
+	}
+	var g FTGroupInfo
+	if g.FTDomainID, err = d.ReadString(); err != nil {
+		return nil, err
+	}
+	if g.GroupID, err = d.ReadULongLong(); err != nil {
+		return nil, err
+	}
+	if g.GroupVersion, err = d.ReadULong(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// GroupInfo extracts the FT group info from the reference's IIOP profiles,
+// returning nil if the reference is not an IOGR.
+func (r *IOR) GroupInfo() *FTGroupInfo {
+	for _, tp := range r.Profiles {
+		if tp.Tag != TagInternetIOP {
+			continue
+		}
+		p, err := ParseProfile(tp)
+		if err != nil {
+			continue
+		}
+		if c := p.FindComponent(TagFTGroup); c != nil {
+			if g, err := ParseFTGroup(*c); err == nil {
+				return g
+			}
+		}
+	}
+	return nil
+}
+
+// NewObjectReference builds a plain single-profile IIOP 1.2 reference.
+func NewObjectReference(typeID, host string, port uint16, objectKey []byte, components ...TaggedComponent) *IOR {
+	p := &IIOPProfile{
+		Major:      1,
+		Minor:      2,
+		Host:       host,
+		Port:       port,
+		ObjectKey:  append([]byte(nil), objectKey...),
+		Components: components,
+	}
+	return &IOR{TypeID: typeID, Profiles: []TaggedProfile{MarshalProfile(p)}}
+}
+
+// Member describes one replica endpoint when building an IOGR.
+type Member struct {
+	Host      string
+	Port      uint16
+	ObjectKey []byte
+	// Primary marks the profile with TAG_FT_PRIMARY (passive replication).
+	Primary bool
+}
+
+// NewIOGR builds an Interoperable Object Group Reference: one IIOP profile
+// per member, each carrying the TAG_FT_GROUP component (and TAG_FT_PRIMARY
+// on the primary's profile).
+func NewIOGR(typeID string, group *FTGroupInfo, members []Member) *IOR {
+	r := &IOR{TypeID: typeID}
+	groupComp := MarshalFTGroup(group)
+	for _, m := range members {
+		comps := []TaggedComponent{groupComp}
+		if m.Primary {
+			comps = append(comps, TaggedComponent{Tag: TagFTPrimary, Data: []byte{byte(cdr.BigEndian), 1}})
+		}
+		p := &IIOPProfile{
+			Major:      1,
+			Minor:      2,
+			Host:       m.Host,
+			Port:       m.Port,
+			ObjectKey:  append([]byte(nil), m.ObjectKey...),
+			Components: comps,
+		}
+		r.Profiles = append(r.Profiles, MarshalProfile(p))
+	}
+	return r
+}

@@ -1,0 +1,207 @@
+package ior
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfileRoundTrip(t *testing.T) {
+	p := &IIOPProfile{
+		Major:     1,
+		Minor:     2,
+		Host:      "replica1.example.com",
+		Port:      2809,
+		ObjectKey: []byte("POA/bank/account"),
+		Components: []TaggedComponent{
+			{Tag: TagORBType, Data: []byte{0, 0x45, 0x54, 0, 1}},
+			{Tag: TagCodeSets, Data: []byte{0, 1, 2, 3}},
+		},
+	}
+	tp := MarshalProfile(p)
+	if tp.Tag != TagInternetIOP {
+		t.Fatalf("profile tag = %d", tp.Tag)
+	}
+	got, err := ParseProfile(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Host != p.Host || got.Port != p.Port {
+		t.Errorf("endpoint = %s:%d", got.Host, got.Port)
+	}
+	if !bytes.Equal(got.ObjectKey, p.ObjectKey) {
+		t.Errorf("object key = %q", got.ObjectKey)
+	}
+	if len(got.Components) != 2 || got.Components[1].Tag != TagCodeSets {
+		t.Errorf("components = %+v", got.Components)
+	}
+}
+
+func TestProfileIIOP10HasNoComponents(t *testing.T) {
+	p := &IIOPProfile{Major: 1, Minor: 0, Host: "h", Port: 1, ObjectKey: []byte("k"),
+		Components: []TaggedComponent{{Tag: TagCodeSets, Data: []byte{1}}}}
+	got, err := ParseProfile(MarshalProfile(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Components) != 0 {
+		t.Errorf("IIOP 1.0 profile must not carry components, got %d", len(got.Components))
+	}
+}
+
+func TestIORStringRoundTrip(t *testing.T) {
+	r := NewObjectReference("IDL:Bank/Account:1.0", "host.example", 9999, []byte("key-bytes"))
+	s := r.String()
+	if !strings.HasPrefix(s, "IOR:") {
+		t.Fatalf("stringified = %q", s)
+	}
+	got, err := ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TypeID != r.TypeID {
+		t.Errorf("type id = %q", got.TypeID)
+	}
+	p, err := got.FirstIIOPProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Host != "host.example" || p.Port != 9999 || string(p.ObjectKey) != "key-bytes" {
+		t.Errorf("profile = %+v", p)
+	}
+}
+
+func TestParseStringErrors(t *testing.T) {
+	if _, err := ParseString("corbaloc::x"); !errors.Is(err, ErrNotStringified) {
+		t.Errorf("err = %v, want ErrNotStringified", err)
+	}
+	if _, err := ParseString("IOR:zz"); err == nil {
+		t.Error("expected hex error")
+	}
+	if _, err := ParseString("IOR:"); err == nil {
+		t.Error("expected error for empty encapsulation")
+	}
+}
+
+func TestMarshalUnmarshal(t *testing.T) {
+	r := NewObjectReference("IDL:X:1.0", "h", 1, []byte("k"))
+	got, err := Unmarshal(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TypeID != "IDL:X:1.0" || len(got.Profiles) != 1 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestNoIIOPProfile(t *testing.T) {
+	r := &IOR{TypeID: "IDL:X:1.0", Profiles: []TaggedProfile{{Tag: TagMultipleComponents, Data: []byte{0}}}}
+	if _, err := r.FirstIIOPProfile(); !errors.Is(err, ErrNoIIOPProfile) {
+		t.Fatalf("err = %v", err)
+	}
+	if g := r.GroupInfo(); g != nil {
+		t.Errorf("group info = %+v, want nil", g)
+	}
+}
+
+func TestFTGroupRoundTrip(t *testing.T) {
+	g := &FTGroupInfo{FTDomainID: "eternal-domain", GroupID: 0xDEADBEEF01, GroupVersion: 7}
+	c := MarshalFTGroup(g)
+	if c.Tag != TagFTGroup {
+		t.Fatalf("tag = %d", c.Tag)
+	}
+	got, err := ParseFTGroup(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *g {
+		t.Errorf("got %+v, want %+v", got, g)
+	}
+}
+
+func TestParseFTGroupWrongTag(t *testing.T) {
+	if _, err := ParseFTGroup(TaggedComponent{Tag: TagCodeSets}); err == nil {
+		t.Fatal("expected tag error")
+	}
+}
+
+func TestIOGR(t *testing.T) {
+	g := &FTGroupInfo{FTDomainID: "d", GroupID: 42, GroupVersion: 3}
+	members := []Member{
+		{Host: "n1", Port: 1001, ObjectKey: []byte("k1"), Primary: true},
+		{Host: "n2", Port: 1002, ObjectKey: []byte("k2")},
+		{Host: "n3", Port: 1003, ObjectKey: []byte("k3")},
+	}
+	r := NewIOGR("IDL:Bank/Account:1.0", g, members)
+	if len(r.Profiles) != 3 {
+		t.Fatalf("profiles = %d", len(r.Profiles))
+	}
+	gi := r.GroupInfo()
+	if gi == nil || gi.GroupID != 42 || gi.GroupVersion != 3 {
+		t.Fatalf("group info = %+v", gi)
+	}
+	// Primary marking appears on exactly the first profile.
+	primaries := 0
+	for i, tp := range r.Profiles {
+		p, err := ParseProfile(tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.FindComponent(TagFTGroup) == nil {
+			t.Errorf("profile %d missing TAG_FT_GROUP", i)
+		}
+		if p.FindComponent(TagFTPrimary) != nil {
+			primaries++
+			if i != 0 {
+				t.Errorf("primary on profile %d", i)
+			}
+		}
+	}
+	if primaries != 1 {
+		t.Errorf("primaries = %d", primaries)
+	}
+	// Round-trip through stringified form preserves everything.
+	got, err := ParseString(r.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi := got.GroupInfo(); gi == nil || gi.GroupID != 42 {
+		t.Errorf("group info lost in stringification: %+v", gi)
+	}
+}
+
+// Property: stringified IORs round-trip for arbitrary endpoints and keys.
+func TestQuickIORRoundTrip(t *testing.T) {
+	f := func(typeID, host string, port uint16, key []byte) bool {
+		r := NewObjectReference(typeID, host, port, key)
+		got, err := ParseString(r.String())
+		if err != nil {
+			return false
+		}
+		if got.TypeID != typeID {
+			return false
+		}
+		p, err := got.FirstIIOPProfile()
+		if err != nil {
+			return false
+		}
+		return p.Host == host && p.Port == port && bytes.Equal(p.ObjectKey, key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Unmarshal never panics on arbitrary bytes.
+func TestQuickUnmarshalRobust(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = Unmarshal(raw)
+		_, _ = ParseString("IOR:" + string(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

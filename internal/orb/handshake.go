@@ -1,0 +1,151 @@
+package orb
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"eternal/internal/cdr"
+	"eternal/internal/giop"
+)
+
+// Code-set ids (OSF registry values used by real ORBs).
+const (
+	// CodeSetISO88591 is ISO 8859-1 (Latin-1), the usual char code set.
+	CodeSetISO88591 uint32 = 0x00010001
+	// CodeSetUTF8 is UTF-8.
+	CodeSetUTF8 uint32 = 0x05010001
+	// CodeSetUTF16 is UTF-16, the usual wchar code set.
+	CodeSetUTF16 uint32 = 0x00010109
+)
+
+// codeSets is the negotiated transmission code sets for one connection —
+// part of the ORB-level state of paper §4.2.2: it is agreed once, on the
+// initial handshake, and both sides remember it for the connection's life.
+type codeSets struct {
+	Char  uint32
+	Wchar uint32
+}
+
+var defaultCodeSets = codeSets{Char: CodeSetISO88591, Wchar: CodeSetUTF16}
+
+// encodeCodeSetsContext builds the standard CodeSets service context.
+func encodeCodeSetsContext(cs codeSets) giop.ServiceContext {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(byte(cdr.BigEndian)) // encapsulation flag
+	e.WriteULong(cs.Char)
+	e.WriteULong(cs.Wchar)
+	return giop.ServiceContext{ID: giop.SCCodeSets, Data: e.Bytes()}
+}
+
+func decodeCodeSetsContext(sc *giop.ServiceContext) (codeSets, error) {
+	d, err := cdr.NewEncapsulationDecoder(sc.Data)
+	if err != nil {
+		return codeSets{}, err
+	}
+	var cs codeSets
+	if cs.Char, err = d.ReadULong(); err != nil {
+		return codeSets{}, err
+	}
+	if cs.Wchar, err = d.ReadULong(); err != nil {
+		return codeSets{}, err
+	}
+	return cs, nil
+}
+
+// The vendor handshake: on a connection's first request the client ORB
+// proposes a 32-bit alias for each object key it is about to use; the
+// server accepts by echoing the aliases in its reply. Subsequent requests
+// then carry the 8-byte short key instead of the full object key —
+// mimicking VisiBroker 4.0's negotiated object-key shortcut (paper
+// §4.2.2). A server that never saw the handshake cannot resolve short
+// keys and discards such requests.
+
+// handshakeVerb discriminates the vendor context payload.
+const (
+	verbNegotiate uint32 = 1
+	verbAccept    uint32 = 2
+)
+
+// keyAlias is one proposed (alias, full key) pair.
+type keyAlias struct {
+	Alias   uint32
+	FullKey []byte
+}
+
+// encodeHandshakeProposal builds the client's NEGOTIATE context.
+func encodeHandshakeProposal(aliases []keyAlias) giop.ServiceContext {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(byte(cdr.BigEndian))
+	e.WriteULong(verbNegotiate)
+	e.WriteULong(uint32(len(aliases)))
+	for _, a := range aliases {
+		e.WriteULong(a.Alias)
+		e.WriteOctetSeq(a.FullKey)
+	}
+	return giop.ServiceContext{ID: giop.SCVendorHandshake, Data: e.Bytes()}
+}
+
+// encodeHandshakeAccept builds the server's ACCEPT context.
+func encodeHandshakeAccept(aliases []uint32) giop.ServiceContext {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(byte(cdr.BigEndian))
+	e.WriteULong(verbAccept)
+	e.WriteULongSeq(aliases)
+	return giop.ServiceContext{ID: giop.SCVendorHandshake, Data: e.Bytes()}
+}
+
+// decodeHandshake parses either form of the vendor context.
+func decodeHandshake(sc *giop.ServiceContext) (verb uint32, proposals []keyAlias, accepted []uint32, err error) {
+	d, err := cdr.NewEncapsulationDecoder(sc.Data)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if verb, err = d.ReadULong(); err != nil {
+		return 0, nil, nil, err
+	}
+	switch verb {
+	case verbNegotiate:
+		n, err := d.ReadULong()
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		for i := uint32(0); i < n; i++ {
+			var a keyAlias
+			if a.Alias, err = d.ReadULong(); err != nil {
+				return 0, nil, nil, err
+			}
+			if a.FullKey, err = d.ReadOctetSeq(); err != nil {
+				return 0, nil, nil, err
+			}
+			proposals = append(proposals, a)
+		}
+		return verb, proposals, nil, nil
+	case verbAccept:
+		if accepted, err = d.ReadULongSeq(); err != nil {
+			return 0, nil, nil, err
+		}
+		return verb, nil, accepted, nil
+	default:
+		return 0, nil, nil, fmt.Errorf("orb: unknown handshake verb %d", verb)
+	}
+}
+
+// shortKeyMagic prefixes negotiated short object keys on the wire.
+var shortKeyMagic = []byte{'E', 'T', 'O', 0x01}
+
+// encodeShortKey builds the 8-byte negotiated object key for an alias.
+func encodeShortKey(alias uint32) []byte {
+	k := make([]byte, 8)
+	copy(k, shortKeyMagic)
+	binary.BigEndian.PutUint32(k[4:], alias)
+	return k
+}
+
+// decodeShortKey reports whether key is a negotiated short key and, if so,
+// its alias.
+func decodeShortKey(key []byte) (uint32, bool) {
+	if len(key) != 8 || string(key[:4]) != string(shortKeyMagic) {
+		return 0, false
+	}
+	return binary.BigEndian.Uint32(key[4:]), true
+}

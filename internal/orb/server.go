@@ -1,0 +1,435 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"eternal/internal/cdr"
+	"eternal/internal/giop"
+	"eternal/internal/ior"
+)
+
+// Servant is the implementation of a CORBA object: the server-side
+// counterpart of an IDL interface's skeleton. Invoke receives the
+// operation name and CDR-encoded arguments and returns the CDR-encoded
+// result, or an error (*UserException, *SystemException, or any other
+// error, which is mapped to CORBA INTERNAL).
+type Servant interface {
+	Invoke(op string, args []byte, order cdr.ByteOrder) ([]byte, error)
+}
+
+// ServantFunc adapts a function to the Servant interface.
+type ServantFunc func(op string, args []byte, order cdr.ByteOrder) ([]byte, error)
+
+// Invoke implements Servant.
+func (f ServantFunc) Invoke(op string, args []byte, order cdr.ByteOrder) ([]byte, error) {
+	return f(op, args, order)
+}
+
+// ThreadPolicy selects the POA threading model.
+type ThreadPolicy int
+
+const (
+	// SingleThreadModel serializes every dispatch in the server — the
+	// deterministic execution Eternal's replica consistency assumes
+	// (paper §2.1 "Multithreading").
+	SingleThreadModel ThreadPolicy = iota
+	// PerConnectionModel serializes per connection but lets different
+	// connections dispatch concurrently (a common ORB default, and a
+	// source of the non-determinism the paper warns about).
+	PerConnectionModel
+)
+
+// ServerOptions configures a server ORB.
+type ServerOptions struct {
+	// Order is the byte order for replies (default big-endian).
+	Order cdr.ByteOrder
+	// ReplyToUnnegotiated controls what happens to a request addressed by
+	// a negotiated short key on a connection that never performed the
+	// handshake: the default (false) silently discards it — the
+	// VisiBroker-like behaviour the paper describes, which leaves the
+	// client waiting — while true answers OBJECT_NOT_EXIST instead.
+	ReplyToUnnegotiated bool
+	// FragmentThreshold splits replies larger than this many body bytes
+	// into GIOP fragments (0 disables).
+	FragmentThreshold int
+}
+
+// Server is the server-side ORB: it adapts connections to POAs and keeps
+// the per-connection ORB-level state (last-seen request id, negotiated
+// code sets, the handshake alias table).
+type Server struct {
+	opts ServerOptions
+
+	mu        sync.Mutex
+	poas      map[string]*POA
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+
+	// dispatchMu serializes all dispatch under SingleThreadModel.
+	dispatchMu sync.Mutex
+
+	nRequests  atomic.Uint64
+	nDiscarded atomic.Uint64
+}
+
+// ServerStats are cumulative server counters. DiscardedRequests counts
+// short-key requests dropped for lack of a handshake — the §4.2.2 failure
+// signature.
+type ServerStats struct {
+	Requests          uint64
+	DiscardedRequests uint64
+}
+
+// NewServer creates a server ORB with a root POA named "root" using the
+// single-threaded (deterministic) model.
+func NewServer(opts ServerOptions) *Server {
+	s := &Server{
+		opts:      opts,
+		poas:      make(map[string]*POA),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	s.CreatePOA("root", SingleThreadModel)
+	return s
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Requests:          s.nRequests.Load(),
+		DiscardedRequests: s.nDiscarded.Load(),
+	}
+}
+
+// CreatePOA creates (or returns the existing) POA with the given name.
+func (s *Server) CreatePOA(name string, policy ThreadPolicy) *POA {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.poas[name]; ok {
+		return p
+	}
+	p := &POA{server: s, name: name, policy: policy, servants: make(map[string]Servant)}
+	s.poas[name] = p
+	return p
+}
+
+// RootPOA returns the default POA.
+func (s *Server) RootPOA() *POA {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.poas["root"]
+}
+
+// POA is a Portable Object Adapter: it maps object ids to servants and
+// applies a threading policy to their dispatch.
+type POA struct {
+	server *Server
+	name   string
+	policy ThreadPolicy
+
+	mu       sync.Mutex
+	servants map[string]Servant
+}
+
+// Name returns the POA's name.
+func (p *POA) Name() string { return p.name }
+
+// Activate registers a servant under the given object id and returns the
+// object key that addresses it.
+func (p *POA) Activate(oid string, sv Servant) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.servants[oid] = sv
+	return p.ObjectKey(oid)
+}
+
+// Deactivate unregisters the object id.
+func (p *POA) Deactivate(oid string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.servants, oid)
+}
+
+// ObjectKey returns the wire object key for an object id in this POA.
+func (p *POA) ObjectKey(oid string) []byte {
+	return []byte(p.name + "/" + oid)
+}
+
+// IOR builds a reference to an activated object reachable at host:port.
+func (p *POA) IOR(typeID, host string, port uint16, oid string) *ior.IOR {
+	return ior.NewObjectReference(typeID, host, port, p.ObjectKey(oid))
+}
+
+func (p *POA) lookup(oid string) (Servant, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sv, ok := p.servants[oid]
+	return sv, ok
+}
+
+// resolveKey finds the servant (and its POA) for a full object key.
+func (s *Server) resolveKey(key []byte) (*POA, Servant, bool) {
+	name, oid, ok := strings.Cut(string(key), "/")
+	if !ok {
+		return nil, nil, false
+	}
+	s.mu.Lock()
+	poa, ok := s.poas[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, false
+	}
+	sv, ok := poa.lookup(oid)
+	return poa, sv, ok
+}
+
+// Serve accepts connections until the listener fails or the server closes.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("orb: server closed")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("orb: accept: %w", err)
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// Close shuts down the server: all listeners and connections close.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ls := make([]net.Listener, 0, len(s.listeners))
+	for l := range s.listeners {
+		ls = append(ls, l)
+	}
+	cs := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		cs = append(cs, c)
+	}
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, c := range cs {
+		c.Close()
+	}
+}
+
+// serverConnState is the per-connection ORB/POA-level state of paper §4.2:
+// invisible to servants, essential to correct recovery.
+type serverConnState struct {
+	// lastRequestID is the highest request id seen on the connection.
+	lastRequestID uint32
+	sawRequest    bool
+	// negotiated code sets (from the CodeSets service context).
+	codeSets   codeSets
+	negotiated bool
+	// aliasTable maps handshake-negotiated aliases to full object keys.
+	aliasTable map[uint32][]byte
+}
+
+// ServeConn serves one connection until it closes. Eternal's interceptor
+// calls this directly with an in-memory pipe to inject the totally-ordered
+// request stream into an unmodified server ORB.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	state := &serverConnState{
+		codeSets:   defaultCodeSets,
+		aliasTable: make(map[uint32][]byte),
+	}
+	var writeMu sync.Mutex
+	r := giop.NewReader(conn)
+	for {
+		msg, err := r.Next()
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case giop.MsgRequest:
+			req, err := giop.ParseRequest(msg)
+			if err != nil {
+				s.sendError(conn, &writeMu, msg)
+				continue
+			}
+			s.handleRequest(conn, &writeMu, state, msg, req)
+		case giop.MsgLocateRequest:
+			lr, err := giop.ParseLocateRequest(msg)
+			if err != nil {
+				continue
+			}
+			status := giop.LocateUnknownObject
+			if _, _, ok := s.resolveKey(s.expandKey(state, lr.ObjectKey)); ok {
+				status = giop.LocateObjectHere
+			}
+			rep := giop.EncodeLocateReply(msg.Version, s.opts.Order,
+				&giop.LocateReplyHeader{RequestID: lr.RequestID, Status: status})
+			writeMu.Lock()
+			rep.WriteTo(conn)
+			writeMu.Unlock()
+		case giop.MsgCancelRequest, giop.MsgMessageError:
+			// Nothing cancellable in a synchronous dispatch model.
+		case giop.MsgCloseConnection:
+			return
+		}
+	}
+}
+
+// expandKey resolves negotiated short keys through the connection's alias
+// table; non-short keys pass through. A short key with no table entry
+// returns nil.
+func (s *Server) expandKey(state *serverConnState, key []byte) []byte {
+	alias, isShort := decodeShortKey(key)
+	if !isShort {
+		return key
+	}
+	full, ok := state.aliasTable[alias]
+	if !ok {
+		return nil
+	}
+	return full
+}
+
+func (s *Server) handleRequest(conn net.Conn, writeMu *sync.Mutex, state *serverConnState, msg *giop.Message, req *giop.Request) {
+	s.nRequests.Add(1)
+	if !state.sawRequest || req.Header.RequestID > state.lastRequestID {
+		state.lastRequestID = req.Header.RequestID
+		state.sawRequest = true
+	}
+
+	// Absorb handshake contexts (the client-server negotiation of §4.2.2).
+	var replyContexts []giop.ServiceContext
+	if sc := giop.FindContext(req.Header.ServiceContexts, giop.SCCodeSets); sc != nil {
+		if cs, err := decodeCodeSetsContext(sc); err == nil {
+			state.codeSets = cs
+			state.negotiated = true
+		}
+	}
+	if sc := giop.FindContext(req.Header.ServiceContexts, giop.SCVendorHandshake); sc != nil {
+		if verb, proposals, _, err := decodeHandshake(sc); err == nil && verb == verbNegotiate {
+			accepted := make([]uint32, 0, len(proposals))
+			for _, pr := range proposals {
+				state.aliasTable[pr.Alias] = pr.FullKey
+				accepted = append(accepted, pr.Alias)
+			}
+			replyContexts = append(replyContexts, encodeHandshakeAccept(accepted))
+		}
+	}
+
+	fullKey := s.expandKey(state, req.Header.ObjectKey)
+	if fullKey == nil {
+		// A short key on a connection that never performed the handshake:
+		// the server ORB cannot interpret it. Per the paper's description
+		// of this failure mode, the request is discarded (no reply), so an
+		// unrecovered server replica leaves clients waiting.
+		s.nDiscarded.Add(1)
+		if s.opts.ReplyToUnnegotiated && req.Header.ResponseExpected {
+			s.reply(conn, writeMu, msg, req, replyContexts, nil, ObjectNotExist())
+		}
+		return
+	}
+
+	poa, servant, ok := s.resolveKey(fullKey)
+	if !ok {
+		if req.Header.ResponseExpected {
+			s.reply(conn, writeMu, msg, req, replyContexts, nil, ObjectNotExist())
+		}
+		return
+	}
+
+	dispatch := func() (result []byte, err error) {
+		// A panicking servant must not take the ORB down: surface it as
+		// CORBA UNKNOWN, like any real ORB's server engine.
+		defer func() {
+			if r := recover(); r != nil {
+				err = &SystemException{
+					Name:      "IDL:omg.org/CORBA/UNKNOWN:1.0",
+					Completed: CompletedMaybe,
+				}
+			}
+		}()
+		return servant.Invoke(req.Header.Operation, req.Args, req.Order)
+	}
+	var result []byte
+	var err error
+	if poa.policy == SingleThreadModel {
+		s.dispatchMu.Lock()
+		result, err = dispatch()
+		s.dispatchMu.Unlock()
+	} else {
+		result, err = dispatch()
+	}
+
+	if !req.Header.ResponseExpected {
+		return
+	}
+	s.reply(conn, writeMu, msg, req, replyContexts, result, err)
+}
+
+func (s *Server) reply(conn net.Conn, writeMu *sync.Mutex, msg *giop.Message, req *giop.Request, scs []giop.ServiceContext, result []byte, err error) {
+	hdr := &giop.ReplyHeader{
+		ServiceContexts: scs,
+		RequestID:       req.Header.RequestID,
+		Status:          giop.ReplyNoException,
+	}
+	body := result
+	if err != nil {
+		if ue, ok := AsUserException(err); ok {
+			hdr.Status = giop.ReplyUserException
+			body = encodeUserException(s.opts.Order, ue)
+		} else if se, ok := AsSystemException(err); ok {
+			hdr.Status = giop.ReplySystemException
+			body = encodeSystemException(s.opts.Order, se)
+		} else {
+			hdr.Status = giop.ReplySystemException
+			body = encodeSystemException(s.opts.Order, Internal())
+		}
+	}
+	rep := giop.EncodeReply(msg.Version, s.opts.Order, hdr, body)
+	writeMu.Lock()
+	giop.WriteMessage(conn, rep, s.opts.FragmentThreshold)
+	writeMu.Unlock()
+}
+
+func (s *Server) sendError(conn net.Conn, writeMu *sync.Mutex, msg *giop.Message) {
+	em := &giop.Message{Version: msg.Version, Order: s.opts.Order, Type: giop.MsgMessageError}
+	writeMu.Lock()
+	em.WriteTo(conn)
+	writeMu.Unlock()
+}

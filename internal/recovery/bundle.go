@@ -1,0 +1,151 @@
+// Package recovery implements Eternal's Recovery Mechanisms state: the
+// three-kind state bundle that travels in a set_state message
+// (application-level state with ORB/POA-level and infrastructure-level
+// state piggybacked, paper §4), and the checkpoint + message log used by
+// passive replication (paper §3.3).
+package recovery
+
+import (
+	"eternal/internal/cdr"
+	"eternal/internal/replication"
+)
+
+// ServerConnState is the server-side ORB/POA-level state of one logical
+// client connection (paper §4.2): the client's stored handshake message —
+// replayed into a new replica's ORB ahead of any other request so the ORB
+// initializes its negotiated state (§4.2.2) — and the last-seen request
+// id.
+type ServerConnState struct {
+	Conn replication.ConnID
+	// Handshake is the raw IIOP request that carried the client's initial
+	// negotiation (the connection's first request).
+	Handshake []byte
+	// LastRequestID is the highest logical request id seen on the
+	// connection.
+	LastRequestID uint32
+}
+
+// ClientConnState is the client-side ORB-level state of one outgoing
+// logical connection (paper §4.2.1): the group's logical request_id
+// counter, transferred so that a recovered replica's mechanisms can map
+// its fresh ORB's ids onto the group's.
+type ClientConnState struct {
+	Conn replication.ConnID
+	// NextRequestID is the next logical request id the connection will
+	// assign.
+	NextRequestID uint32
+}
+
+// ORBState is the piggybacked ORB/POA-level state of one replica.
+type ORBState struct {
+	ServerConns []ServerConnState
+	ClientConns []ClientConnState
+}
+
+// InfraState is the piggybacked infrastructure-level state (paper §4.3):
+// the duplicate-suppression high-water marks for invocations delivered to
+// the group and for responses delivered to the group's own outgoing
+// connections.
+type InfraState struct {
+	RequestFilter []byte // replication.EncodeFilterState
+	ReplyFilter   []byte // replication.EncodeFilterState
+}
+
+// Bundle is everything a set_state message carries: the retrieved
+// application-level state plus the two piggybacked kinds. Assignment
+// order at the new replica is application first, then ORB/POA, then
+// infrastructure, before the replica processes anything (paper §4.3).
+type Bundle struct {
+	// AppState is the marshaled `any` returned by get_state().
+	AppState []byte
+	ORB      ORBState
+	Infra    InfraState
+}
+
+// Encode serializes the bundle.
+func (b *Bundle) Encode() []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctetSeq(b.AppState)
+	e.WriteULong(uint32(len(b.ORB.ServerConns)))
+	for _, sc := range b.ORB.ServerConns {
+		encodeConnID(e, sc.Conn)
+		e.WriteOctetSeq(sc.Handshake)
+		e.WriteULong(sc.LastRequestID)
+	}
+	e.WriteULong(uint32(len(b.ORB.ClientConns)))
+	for _, cc := range b.ORB.ClientConns {
+		encodeConnID(e, cc.Conn)
+		e.WriteULong(cc.NextRequestID)
+	}
+	e.WriteOctetSeq(b.Infra.RequestFilter)
+	e.WriteOctetSeq(b.Infra.ReplyFilter)
+	return e.Bytes()
+}
+
+// DecodeBundle parses a serialized bundle.
+func DecodeBundle(buf []byte) (*Bundle, error) {
+	d := cdr.NewDecoder(buf, cdr.BigEndian)
+	var b Bundle
+	var err error
+	if b.AppState, err = d.ReadOctetSeq(); err != nil {
+		return nil, err
+	}
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < n; i++ {
+		var sc ServerConnState
+		if sc.Conn, err = decodeConnID(d); err != nil {
+			return nil, err
+		}
+		if sc.Handshake, err = d.ReadOctetSeq(); err != nil {
+			return nil, err
+		}
+		if sc.LastRequestID, err = d.ReadULong(); err != nil {
+			return nil, err
+		}
+		b.ORB.ServerConns = append(b.ORB.ServerConns, sc)
+	}
+	if n, err = d.ReadULong(); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < n; i++ {
+		var cc ClientConnState
+		if cc.Conn, err = decodeConnID(d); err != nil {
+			return nil, err
+		}
+		if cc.NextRequestID, err = d.ReadULong(); err != nil {
+			return nil, err
+		}
+		b.ORB.ClientConns = append(b.ORB.ClientConns, cc)
+	}
+	if b.Infra.RequestFilter, err = d.ReadOctetSeq(); err != nil {
+		return nil, err
+	}
+	if b.Infra.ReplyFilter, err = d.ReadOctetSeq(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+func encodeConnID(e *cdr.Encoder, c replication.ConnID) {
+	e.WriteString(c.Client)
+	e.WriteString(c.Group)
+	e.WriteULongLong(c.Seq)
+}
+
+func decodeConnID(d *cdr.Decoder) (replication.ConnID, error) {
+	var c replication.ConnID
+	var err error
+	if c.Client, err = d.ReadString(); err != nil {
+		return c, err
+	}
+	if c.Group, err = d.ReadString(); err != nil {
+		return c, err
+	}
+	if c.Seq, err = d.ReadULongLong(); err != nil {
+		return c, err
+	}
+	return c, nil
+}

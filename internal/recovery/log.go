@@ -1,0 +1,82 @@
+package recovery
+
+import "eternal/internal/replication"
+
+// Log is the per-group checkpoint-and-message log of paper §3.3: Eternal
+// logs each checkpoint and the ordered messages that follow it, until the
+// next checkpoint overwrites the previous one (which is also the log's
+// garbage collection).
+//
+// Under warm passive replication the backups' mechanisms keep this log so
+// a promoted backup can replay the messages logged since the last
+// checkpoint; under cold passive replication it is all there is — the
+// replica itself is not instantiated until promotion.
+//
+// Log is confined to the owning node's delivery goroutine and is not safe
+// for concurrent use.
+type Log struct {
+	checkpoint    []byte // encoded Bundle; nil until the first checkpoint
+	hasCheckpoint bool
+	msgs          []*replication.Envelope
+	// totalLogged counts messages ever appended (across GCs).
+	totalLogged uint64
+	// gcRuns counts checkpoint overwrites.
+	gcRuns uint64
+}
+
+// NewLog creates an empty log.
+func NewLog() *Log {
+	return &Log{}
+}
+
+// Append logs one ordered message (a KRequest delivered after the last
+// checkpoint).
+func (l *Log) Append(env *replication.Envelope) {
+	l.msgs = append(l.msgs, env)
+	l.totalLogged++
+}
+
+// SetCheckpoint records a new checkpoint, overwriting the previous one
+// and discarding the messages it subsumes (paper §3.3's log GC).
+func (l *Log) SetCheckpoint(bundle []byte) {
+	l.TruncateTo(bundle, len(l.msgs))
+}
+
+// TruncateTo records a new checkpoint that subsumes only the first
+// keepFrom logged messages: the tail (messages ordered after the
+// checkpoint's capture point but logged before the checkpoint's delivery)
+// survives, because the paper's log holds "the ordered messages that
+// follow that checkpoint" — follow the capture, not the delivery.
+func (l *Log) TruncateTo(bundle []byte, keepFrom int) {
+	l.checkpoint = append([]byte(nil), bundle...)
+	l.hasCheckpoint = true
+	if keepFrom > len(l.msgs) {
+		keepFrom = len(l.msgs)
+	}
+	if keepFrom < 0 {
+		keepFrom = 0
+	}
+	l.msgs = append([]*replication.Envelope(nil), l.msgs[keepFrom:]...)
+	l.gcRuns++
+}
+
+// Checkpoint returns the last checkpoint; ok is false before the first
+// one (the replica then replays from its initial state).
+func (l *Log) Checkpoint() ([]byte, bool) {
+	return l.checkpoint, l.hasCheckpoint
+}
+
+// Messages returns the ordered messages logged since the last checkpoint.
+// The returned slice is owned by the log; callers must not mutate it.
+func (l *Log) Messages() []*replication.Envelope {
+	return l.msgs
+}
+
+// Len reports the number of logged messages since the last checkpoint.
+func (l *Log) Len() int { return len(l.msgs) }
+
+// Stats reports lifetime counters: messages ever logged and checkpoint
+// overwrites performed.
+func (l *Log) Stats() (totalLogged, gcRuns uint64) {
+	return l.totalLogged, l.gcRuns
+}

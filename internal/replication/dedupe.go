@@ -1,0 +1,143 @@
+package replication
+
+import (
+	"slices"
+
+	"eternal/internal/cdr"
+)
+
+// DupFilter suppresses duplicate invocations and responses using
+// Eternal-generated operation identifiers (paper §2.1 "Duplicate
+// operations", §4.3). An invocation is identified by its logical
+// connection and operation id; because every replica of a replicated
+// client assigns the same logical ids, the second and later copies of the
+// same invocation are recognized and never delivered.
+//
+// Operation ids increase monotonically per connection, so the filter
+// keeps only a high-water mark per connection — which is exactly the
+// piece of infrastructure-level state the paper transfers to a new
+// replica so its filter agrees with the group's (§4.3).
+//
+// DupFilter is not safe for concurrent use; each owner confines it to one
+// goroutine.
+type DupFilter struct {
+	seen map[ConnID]uint32
+}
+
+// NewDupFilter creates an empty filter.
+func NewDupFilter() *DupFilter {
+	return &DupFilter{seen: make(map[ConnID]uint32)}
+}
+
+// FirstDelivery reports whether (conn, op) has not been seen before, and
+// records it. Duplicates and older operations return false.
+func (f *DupFilter) FirstDelivery(conn ConnID, op uint32) bool {
+	if hi, ok := f.seen[conn]; ok && op <= hi {
+		return false
+	}
+	f.seen[conn] = op
+	return true
+}
+
+// Peek reports the high-water mark for a connection without mutating.
+func (f *DupFilter) Peek(conn ConnID) (uint32, bool) {
+	hi, ok := f.seen[conn]
+	return hi, ok
+}
+
+// Snapshot returns a deep copy of the filter's state — the
+// infrastructure-level state piggybacked on a state transfer.
+func (f *DupFilter) Snapshot() map[ConnID]uint32 {
+	out := make(map[ConnID]uint32, len(f.seen))
+	for k, v := range f.seen {
+		out[k] = v
+	}
+	return out
+}
+
+// Restore overwrites the filter with transferred state.
+func (f *DupFilter) Restore(state map[ConnID]uint32) {
+	f.seen = make(map[ConnID]uint32, len(state))
+	for k, v := range state {
+		f.seen[k] = v
+	}
+}
+
+// MergeMax folds transferred state into the filter, keeping the higher
+// high-water mark per connection. A passive backup absorbing a checkpoint
+// must merge rather than restore: it has already seen (and logged)
+// operations ordered after the checkpoint's capture point, and rewinding
+// the filter would let a later duplicate of one of them back in.
+func (f *DupFilter) MergeMax(state map[ConnID]uint32) {
+	for k, v := range state {
+		if cur, ok := f.seen[k]; !ok || v > cur {
+			f.seen[k] = v
+		}
+	}
+}
+
+// EncodeFilterState serializes a filter snapshot for piggybacking.
+func EncodeFilterState(state map[ConnID]uint32) []byte {
+	keys := make([]ConnID, 0, len(state))
+	for k := range state {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, func(a, b ConnID) int {
+		if a.Client != b.Client {
+			if a.Client < b.Client {
+				return -1
+			}
+			return 1
+		}
+		if a.Group != b.Group {
+			if a.Group < b.Group {
+				return -1
+			}
+			return 1
+		}
+		switch {
+		case a.Seq < b.Seq:
+			return -1
+		case a.Seq > b.Seq:
+			return 1
+		}
+		return 0
+	})
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteULong(uint32(len(keys)))
+	for _, k := range keys {
+		e.WriteString(k.Client)
+		e.WriteString(k.Group)
+		e.WriteULongLong(k.Seq)
+		e.WriteULong(state[k])
+	}
+	return e.Bytes()
+}
+
+// DecodeFilterState parses a serialized filter snapshot.
+func DecodeFilterState(buf []byte) (map[ConnID]uint32, error) {
+	d := cdr.NewDecoder(buf, cdr.BigEndian)
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[ConnID]uint32, n)
+	for i := uint32(0); i < n; i++ {
+		var k ConnID
+		if k.Client, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if k.Group, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if k.Seq, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		v, err := d.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}

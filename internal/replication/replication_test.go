@@ -1,0 +1,358 @@
+package replication
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"eternal/internal/ftcorba"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	in := &Envelope{
+		Kind:    KRequest,
+		Group:   "bank",
+		Node:    "n1",
+		Conn:    ConnID{Client: "teller", Group: "bank", Seq: 2},
+		OpID:    351,
+		Oneway:  true,
+		XferID:  9,
+		Payload: []byte{0xDE, 0xAD},
+	}
+	out, err := Decode(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != in.Kind || out.Group != in.Group || out.Node != in.Node ||
+		out.Conn != in.Conn || out.OpID != in.OpID || out.Oneway != in.Oneway ||
+		out.XferID != in.XferID || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestEnvelopeBadKind(t *testing.T) {
+	raw := (&Envelope{Kind: KReply}).Encode()
+	raw[0] = 200
+	if _, err := Decode(raw); !errors.Is(err, ErrBadEnvelope) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQuickEnvelopeRoundTrip(t *testing.T) {
+	f := func(group, node, client string, seq uint64, op uint32, payload []byte, oneway bool) bool {
+		in := &Envelope{
+			Kind:    KReply,
+			Group:   group,
+			Node:    node,
+			Conn:    ConnID{Client: client, Group: group, Seq: seq},
+			OpID:    op,
+			Oneway:  oneway,
+			Payload: payload,
+		}
+		out, err := Decode(in.Encode())
+		return err == nil && out.Conn == in.Conn && out.OpID == op && bytes.Equal(out.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecodeRobust(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = Decode(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func spec() *GroupSpec {
+	return &GroupSpec{
+		Name:     "bank",
+		TypeName: "Account",
+		Props: ftcorba.Properties{
+			Style:              ftcorba.WarmPassive,
+			InitialReplicas:    3,
+			MinReplicas:        2,
+			CheckpointInterval: 250 * time.Millisecond,
+		},
+		Nodes: []string{"n1", "n2", "n3"},
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	in := spec()
+	out, err := DecodeSpec(EncodeSpec(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || out.TypeName != in.TypeName ||
+		out.Props != in.Props || len(out.Nodes) != 3 || out.Nodes[2] != "n3" {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestTableCreateAndPrimary(t *testing.T) {
+	tb := NewTable()
+	g, err := tb.Create(spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := g.Primary(); !ok || p != "n1" {
+		t.Fatalf("primary = %q, %v", p, ok)
+	}
+	if _, err := tb.Create(spec()); !errors.Is(err, ErrGroupExists) {
+		t.Fatalf("err = %v", err)
+	}
+	if !g.IsPrimary("n1") || g.IsPrimary("n2") {
+		t.Fatal("IsPrimary wrong")
+	}
+	if got := g.OperationalMembers(); len(got) != 3 {
+		t.Fatalf("operational = %v", got)
+	}
+}
+
+func TestTableCreateValidates(t *testing.T) {
+	tb := NewTable()
+	bad := spec()
+	bad.Props.MinReplicas = 10
+	if _, err := tb.Create(bad); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestPrimaryFailover(t *testing.T) {
+	tb := NewTable()
+	tb.Create(spec())
+	affected := tb.NodeFailed("n1")
+	if len(affected) != 1 || affected[0] != "bank" {
+		t.Fatalf("affected = %v", affected)
+	}
+	g, _ := tb.Get("bank")
+	if p, _ := g.Primary(); p != "n2" {
+		t.Fatalf("new primary = %q", p)
+	}
+	// Failing a node that hosts nothing affects nothing.
+	if affected := tb.NodeFailed("ghost"); len(affected) != 0 {
+		t.Fatalf("affected = %v", affected)
+	}
+}
+
+func TestRemoveMember(t *testing.T) {
+	tb := NewTable()
+	tb.Create(spec())
+	removed, err := tb.RemoveMember("bank", "n2")
+	if err != nil || !removed {
+		t.Fatalf("removed=%v err=%v", removed, err)
+	}
+	removed, err = tb.RemoveMember("bank", "n2")
+	if err != nil || removed {
+		t.Fatal("double removal must be a no-op")
+	}
+	if _, err := tb.RemoveMember("ghost", "n1"); !errors.Is(err, ErrGroupUnknown) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRecoveringLifecycle(t *testing.T) {
+	tb := NewTable()
+	tb.Create(spec())
+	tb.RemoveMember("bank", "n3")
+	g, err := tb.AddRecovering("bank", "n3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.AddRecovering("bank", "n3"); !errors.Is(err, ErrMemberExists) {
+		t.Fatalf("err = %v", err)
+	}
+	// Recovering members are not operational and cannot be primary.
+	if got := g.OperationalMembers(); len(got) != 2 {
+		t.Fatalf("operational = %v", got)
+	}
+	if err := tb.MarkOperational("bank", "n3"); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.OperationalMembers(); len(got) != 3 {
+		t.Fatalf("operational after mark = %v", got)
+	}
+}
+
+func TestRecoveryTarget(t *testing.T) {
+	tb := NewTable()
+	tb.Create(spec())
+	g, _ := tb.Get("bank")
+	// All placement nodes host members: spare is the extra live node.
+	if n, ok := g.RecoveryTarget([]string{"n1", "n2", "n3", "n4"}); !ok || n != "n4" {
+		t.Fatalf("target = %q, %v", n, ok)
+	}
+	// After n2 dies, the preferred target is n2's configured slot... which
+	// is dead, so placement prefers a configured node that is live.
+	tb.NodeFailed("n2")
+	if n, ok := g.RecoveryTarget([]string{"n1", "n3", "n4"}); !ok || n != "n4" {
+		t.Fatalf("target = %q, %v", n, ok)
+	}
+	// A restarted n2 is preferred (it is in the configured placement).
+	if n, ok := g.RecoveryTarget([]string{"n1", "n2", "n3", "n4"}); !ok || n != "n2" {
+		t.Fatalf("target = %q, %v", n, ok)
+	}
+	// No spare at all.
+	tb2 := NewTable()
+	tb2.Create(spec())
+	g2, _ := tb2.Get("bank")
+	if _, ok := g2.RecoveryTarget([]string{"n1", "n2", "n3"}); ok {
+		t.Fatal("no target expected")
+	}
+}
+
+func TestDupFilter(t *testing.T) {
+	f := NewDupFilter()
+	conn := ConnID{Client: "c", Group: "g", Seq: 0}
+	if !f.FirstDelivery(conn, 1) {
+		t.Fatal("first must pass")
+	}
+	if f.FirstDelivery(conn, 1) {
+		t.Fatal("duplicate must be suppressed")
+	}
+	if !f.FirstDelivery(conn, 2) {
+		t.Fatal("next must pass")
+	}
+	if f.FirstDelivery(conn, 1) {
+		t.Fatal("older must be suppressed")
+	}
+	other := ConnID{Client: "c", Group: "g", Seq: 1}
+	if !f.FirstDelivery(other, 1) {
+		t.Fatal("independent connection must pass")
+	}
+}
+
+func TestDupFilterSnapshotRestore(t *testing.T) {
+	f := NewDupFilter()
+	a := ConnID{Client: "x", Group: "g", Seq: 0}
+	b := ConnID{Client: "y", Group: "g", Seq: 3}
+	f.FirstDelivery(a, 10)
+	f.FirstDelivery(b, 20)
+	raw := EncodeFilterState(f.Snapshot())
+	state, err := DecodeFilterState(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewDupFilter()
+	g.Restore(state)
+	if g.FirstDelivery(a, 10) || g.FirstDelivery(b, 19) {
+		t.Fatal("restored filter must remember high-water marks")
+	}
+	if !g.FirstDelivery(a, 11) {
+		t.Fatal("restored filter must accept new ops")
+	}
+	if hi, ok := g.Peek(b); !ok || hi != 20 {
+		t.Fatalf("peek = %d, %v", hi, ok)
+	}
+}
+
+func TestFilterStateEncodingDeterministic(t *testing.T) {
+	f := NewDupFilter()
+	for i := 0; i < 20; i++ {
+		f.FirstDelivery(ConnID{Client: string(rune('a' + i)), Group: "g", Seq: uint64(i)}, uint32(i))
+	}
+	one := EncodeFilterState(f.Snapshot())
+	two := EncodeFilterState(f.Snapshot())
+	if !bytes.Equal(one, two) {
+		t.Fatal("encoding must be deterministic (sorted)")
+	}
+}
+
+func TestGroupClone(t *testing.T) {
+	tb := NewTable()
+	g, _ := tb.Create(spec())
+	c := g.Clone()
+	tb.RemoveMember("bank", "n1")
+	if len(c.Members) != 3 {
+		t.Fatal("clone must be independent")
+	}
+}
+
+func TestDupFilterMergeMax(t *testing.T) {
+	f := NewDupFilter()
+	conn := ConnID{Client: "c", Group: "g"}
+	f.FirstDelivery(conn, 59) // the backup already logged op 59
+	// A checkpoint captured at op 58 must not rewind the filter.
+	f.MergeMax(map[ConnID]uint32{conn: 58})
+	if f.FirstDelivery(conn, 59) {
+		t.Fatal("rewound filter re-admitted a seen operation")
+	}
+	// But it raises connections the filter had not seen.
+	other := ConnID{Client: "d", Group: "g"}
+	f.MergeMax(map[ConnID]uint32{other: 10})
+	if f.FirstDelivery(other, 10) {
+		t.Fatal("merged mark ignored")
+	}
+	if !f.FirstDelivery(other, 11) {
+		t.Fatal("merge must not over-suppress")
+	}
+}
+
+// Property: two tables fed the same operation sequence end in the same
+// state (the determinism the whole system rests on).
+func TestQuickTableDeterminism(t *testing.T) {
+	type op struct {
+		kind byte
+		node uint8
+	}
+	apply := func(tb *Table, ops []op) {
+		nodes := []string{"n0", "n1", "n2", "n3"}
+		tb.Create(spec())
+		for _, o := range ops {
+			node := nodes[int(o.node)%len(nodes)]
+			switch o.kind % 4 {
+			case 0:
+				tb.RemoveMember("bank", node)
+			case 1:
+				tb.AddRecovering("bank", node)
+			case 2:
+				tb.MarkOperational("bank", node)
+			case 3:
+				tb.NodeFailed(node)
+			}
+		}
+	}
+	f := func(kinds []byte, nodes []byte) bool {
+		n := len(kinds)
+		if len(nodes) < n {
+			n = len(nodes)
+		}
+		ops := make([]op, n)
+		for i := 0; i < n; i++ {
+			ops[i] = op{kind: kinds[i], node: nodes[i]}
+		}
+		a, b := NewTable(), NewTable()
+		apply(a, ops)
+		apply(b, ops)
+		return bytes.Equal(a.EncodeTable(), b.EncodeTable())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: table snapshots round-trip exactly.
+func TestQuickTableSnapshotRoundTrip(t *testing.T) {
+	f := func(removes []uint8) bool {
+		tb := NewTable()
+		tb.Create(spec())
+		nodes := []string{"n1", "n2", "n3"}
+		for _, r := range removes {
+			tb.RemoveMember("bank", nodes[int(r)%len(nodes)])
+		}
+		decoded, err := DecodeTable(tb.EncodeTable())
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(decoded.EncodeTable(), tb.EncodeTable())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package totem
+
+import "sync"
+
+// pump is an unbounded FIFO bridging the protocol goroutine to consumers:
+// the protocol must never block on a slow consumer (a blocked run loop
+// would stall the token), so deliveries and membership views queue here.
+type pump[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []T
+	closed bool
+	out    chan T
+	done   chan struct{}
+}
+
+func newPump[T any]() *pump[T] {
+	p := &pump[T]{
+		out:  make(chan T),
+		done: make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	go p.run()
+	return p
+}
+
+// In enqueues v; it never blocks. Enqueueing after Close is a no-op.
+func (p *pump[T]) In(v T) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.queue = append(p.queue, v)
+	p.cond.Signal()
+}
+
+// Out returns the consumer channel; it is closed after Close once the
+// queue drains.
+func (p *pump[T]) Out() <-chan T { return p.out }
+
+// Close stops the pump immediately: queued but unconsumed items are
+// dropped and Out closes. Close is idempotent.
+func (p *pump[T]) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.done)
+		p.cond.Signal()
+	}
+}
+
+func (p *pump[T]) run() {
+	defer close(p.out)
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		v := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		select {
+		case p.out <- v:
+		case <-p.done:
+			return
+		}
+	}
+}

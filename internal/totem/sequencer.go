@@ -1,0 +1,149 @@
+package totem
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"eternal/internal/cdr"
+)
+
+// Sequencer is a deliberately minimal fixed-sequencer total-order
+// multicast: senders unicast to a designated leader, which stamps a
+// global sequence number and broadcasts. It exists as the ablation
+// baseline for the token-ring design choice (DESIGN.md §5): no membership
+// protocol, no retransmission, no failure handling — compare its cost and
+// properties against the Totem ring, not its robustness.
+type Sequencer struct {
+	tr     Transport
+	leader string
+
+	deliveries *pump[Delivery]
+	stopOnce   sync.Once
+	done       chan struct{}
+
+	// Leader-side counter.
+	nextSeq atomic.Uint64
+	// Receiver-side reordering.
+	mu      sync.Mutex
+	nextDel uint64
+	holdBck map[uint64]Delivery
+}
+
+// Sequencer wire types.
+const (
+	sqSubmit  byte = 101
+	sqOrdered byte = 102
+)
+
+// NewSequencer creates a member; exactly one member (the smallest address
+// by convention, chosen by the caller) is the leader.
+func NewSequencer(tr Transport, leader string) *Sequencer {
+	s := &Sequencer{
+		tr:         tr,
+		leader:     leader,
+		deliveries: newPump[Delivery](),
+		done:       make(chan struct{}),
+		nextDel:    1,
+		holdBck:    make(map[uint64]Delivery),
+	}
+	go s.run()
+	return s
+}
+
+// Deliveries returns the ordered delivery stream.
+func (s *Sequencer) Deliveries() <-chan Delivery { return s.deliveries.Out() }
+
+// Multicast submits one message for total-order delivery.
+func (s *Sequencer) Multicast(payload []byte) error {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(sqSubmit)
+	e.WriteString(s.tr.Addr())
+	e.WriteOctetSeq(payload)
+	if s.tr.Addr() == s.leader {
+		// Local submit: stamp directly.
+		s.order(s.tr.Addr(), payload)
+		return nil
+	}
+	return s.tr.Send(s.leader, e.Bytes())
+}
+
+// Stop shuts the member down.
+func (s *Sequencer) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.done)
+		s.tr.Close()
+		s.deliveries.Close()
+	})
+}
+
+func (s *Sequencer) order(sender string, payload []byte) {
+	seq := s.nextSeq.Add(1)
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(sqOrdered)
+	e.WriteULongLong(seq)
+	e.WriteString(sender)
+	e.WriteOctetSeq(payload)
+	_ = s.tr.Broadcast(e.Bytes())
+}
+
+func (s *Sequencer) run() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case pkt, ok := <-s.tr.Recv():
+			if !ok {
+				return
+			}
+			s.handle(pkt)
+		}
+	}
+}
+
+func (s *Sequencer) handle(pkt Packet) {
+	d := cdr.NewDecoder(pkt.Payload, cdr.BigEndian)
+	t, err := d.ReadOctet()
+	if err != nil {
+		return
+	}
+	switch t {
+	case sqSubmit:
+		if s.tr.Addr() != s.leader {
+			return
+		}
+		sender, err := d.ReadString()
+		if err != nil {
+			return
+		}
+		payload, err := d.ReadOctetSeq()
+		if err != nil {
+			return
+		}
+		s.order(sender, payload)
+	case sqOrdered:
+		seq, err := d.ReadULongLong()
+		if err != nil {
+			return
+		}
+		sender, err := d.ReadString()
+		if err != nil {
+			return
+		}
+		payload, err := d.ReadOctetSeq()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.holdBck[seq] = Delivery{Seq: seq, Sender: sender, Payload: payload}
+		for {
+			del, ok := s.holdBck[s.nextDel]
+			if !ok {
+				break
+			}
+			delete(s.holdBck, s.nextDel)
+			s.nextDel++
+			s.deliveries.In(del)
+		}
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,964 @@
+// Package totem implements a Totem-style single-ring reliable
+// totally-ordered multicast protocol, the group-communication substrate
+// the Eternal system conveys IIOP messages over (Moser et al., "Totem: A
+// fault-tolerant multicast group communication system", CACM 1996).
+//
+// The protocol is token-ring based: a token rotates around the ring of
+// live processors carrying the global sequence number, an
+// all-received-up-to (aru) aggregation used for flow control and garbage
+// collection, and a retransmission-request list. A processor multicasts
+// only while holding the token, stamping each message with the next
+// sequence number, which yields agreed (gap-free, identical at every
+// processor) delivery order.
+//
+// Membership follows Totem's shape in simplified form: token loss or the
+// arrival of a Join message moves processors into a gather phase where
+// they advertise the set of processors they can hear; when the
+// representative (smallest address) sees a stable set, it forms a new ring
+// and delivery continues. Large application messages are fragmented into
+// MTU-sized chunks, each a separate ordered multicast — exactly the
+// behaviour behind the paper's Figure 6, where recovery time grows with
+// state size because state larger than one Ethernet frame costs multiple
+// multicast messages.
+//
+// Guarantees within one ring lineage (an unbroken chain of reformations):
+// reliable, agreed-order, gap-free delivery. A processor that joins fresh,
+// or rejoins from a divergent lineage (e.g. the losing side of a
+// partition), is delivered a Membership view with Reset=true and resumes
+// at the new ring's start sequence; Eternal's Recovery Mechanisms treat
+// such members as recovering replicas and re-synchronize their state,
+// which is the paper's recovery model.
+package totem
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eternal/internal/simnet"
+)
+
+// Packet is one transport frame.
+type Packet struct {
+	From    string
+	Payload []byte
+}
+
+// Transport is the unreliable datagram layer totem runs over: a broadcast
+// medium with bounded frame size, such as internal/simnet or UDP.
+type Transport interface {
+	// Addr returns this endpoint's unique address.
+	Addr() string
+	// Send transmits one frame to the named endpoint (best effort).
+	Send(to string, payload []byte) error
+	// Broadcast transmits one frame to all endpoints including this one.
+	Broadcast(payload []byte) error
+	// Recv returns the delivery channel; it closes when the transport does.
+	Recv() <-chan Packet
+	// MTU is the maximum frame payload size.
+	MTU() int
+	// Close detaches the endpoint.
+	Close() error
+}
+
+// simnetTransport adapts a simnet.Endpoint to the Transport interface.
+type simnetTransport struct {
+	ep  *simnet.Endpoint
+	out chan Packet
+}
+
+// NewSimnetTransport wraps a simulated-network endpoint as a Transport.
+func NewSimnetTransport(ep *simnet.Endpoint) Transport {
+	t := &simnetTransport{ep: ep, out: make(chan Packet, 1024)}
+	go func() {
+		defer close(t.out)
+		for pkt := range ep.Recv() {
+			t.out <- Packet{From: pkt.From, Payload: pkt.Payload}
+		}
+	}()
+	return t
+}
+
+func (t *simnetTransport) Addr() string                         { return t.ep.Addr() }
+func (t *simnetTransport) Send(to string, payload []byte) error { return t.ep.Send(to, payload) }
+func (t *simnetTransport) Broadcast(payload []byte) error       { return t.ep.Broadcast(payload) }
+func (t *simnetTransport) Recv() <-chan Packet                  { return t.out }
+func (t *simnetTransport) MTU() int                             { return t.ep.MTU() }
+func (t *simnetTransport) Close() error                         { return t.ep.Close() }
+
+var _ Transport = (*simnetTransport)(nil)
+
+// Delivery is one event in the totally-ordered delivery stream: either an
+// application message (View == nil; reassembled from its fragments) or a
+// membership view change (View != nil, Payload empty).
+//
+// Views are delivered at a consistent position in the stream: after every
+// message of the previous ring (sequence numbers up to the view's
+// StartSeq) and before every message of the new ring. Every lineage member
+// therefore observes messages and view changes interleaved identically —
+// the property Eternal's replicated group-metadata state machine depends
+// on (e.g. all nodes must agree which requests a failed primary still
+// answered).
+type Delivery struct {
+	Seq     uint64
+	Sender  string
+	Payload []byte
+	View    *Membership
+}
+
+// Membership is a view change. Members is sorted. Reset reports that this
+// processor did not continue the previous sequence space (fresh join or
+// divergent lineage) and must be re-synchronized by the layer above.
+type Membership struct {
+	Epoch    uint64
+	Rep      string
+	Members  []string
+	Reset    bool
+	StartSeq uint64
+}
+
+// Stats are cumulative protocol counters.
+type Stats struct {
+	Multicasts     uint64
+	ChunksSent     uint64
+	Retransmits    uint64
+	TokenRotations uint64
+	Deliveries     uint64
+	ViewChanges    uint64
+	Tombstones     uint64
+}
+
+// Config configures a Processor. Zero durations get defaults sized for
+// LAN-scale simulation; tests shrink them for fast reformations.
+type Config struct {
+	Transport Transport
+	// TokenLossTimeout triggers membership reformation when no token has
+	// been seen for this long (default 250ms).
+	TokenLossTimeout time.Duration
+	// TokenResend retransmits the last token we forwarded if no activity
+	// follows (default TokenLossTimeout/4).
+	TokenResend time.Duration
+	// JoinInterval is the gather-phase Join rebroadcast period (default 40ms).
+	JoinInterval time.Duration
+	// JoinExpiry drops gather-phase peers not heard from (default 5*JoinInterval).
+	JoinExpiry time.Duration
+	// StableFor is how long the alive set must stay unchanged before the
+	// representative forms a ring (default 2*JoinInterval).
+	StableFor time.Duration
+	// Tick is the internal timer resolution (default 2ms).
+	Tick time.Duration
+	// MaxPerToken bounds chunks multicast per token visit (default 64).
+	MaxPerToken int
+	// MissThreshold is the number of token visits a missing sequence
+	// number may stay unsatisfied before it is declared unrecoverable and
+	// skipped (default 10).
+	MissThreshold int
+	// AnnounceInterval is the period of the representative's ring beacon,
+	// used to discover foreign rings after a partition heals
+	// (default 8*JoinInterval).
+	AnnounceInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.TokenLossTimeout <= 0 {
+		c.TokenLossTimeout = 250 * time.Millisecond
+	}
+	if c.TokenResend <= 0 {
+		c.TokenResend = c.TokenLossTimeout / 4
+	}
+	if c.JoinInterval <= 0 {
+		c.JoinInterval = 40 * time.Millisecond
+	}
+	if c.JoinExpiry <= 0 {
+		c.JoinExpiry = 5 * c.JoinInterval
+	}
+	if c.StableFor <= 0 {
+		c.StableFor = 2 * c.JoinInterval
+	}
+	if c.Tick <= 0 {
+		c.Tick = 2 * time.Millisecond
+	}
+	if c.MaxPerToken <= 0 {
+		c.MaxPerToken = 64
+	}
+	if c.MissThreshold <= 0 {
+		c.MissThreshold = 10
+	}
+	if c.AnnounceInterval <= 0 {
+		c.AnnounceInterval = 8 * c.JoinInterval
+	}
+	return c
+}
+
+// fragMargin is the reserve for chunk headers within one frame.
+const fragMargin = 192
+
+// maxRtrPerToken bounds the retransmission list so tokens fit one frame.
+const maxRtrPerToken = 100
+
+// idleRotations is how many fully idle token rotations run at wire speed
+// before holders start pacing the token (see handleToken).
+const idleRotations = 8
+
+// Errors returned by Processor methods.
+var (
+	ErrStopped     = errors.New("totem: processor stopped")
+	ErrAddrTooLong = errors.New("totem: transport address exceeds 64 bytes")
+	ErrMTUTooSmall = errors.New("totem: transport MTU too small for protocol headers")
+)
+
+const (
+	stateGather = iota
+	stateOperational
+)
+
+type joinRecord struct {
+	msg    *joinMsg
+	seenAt time.Time
+}
+
+type partial struct {
+	frags  [][]byte
+	next   uint32
+	broken bool
+}
+
+// Processor is one member of the totem ring.
+type Processor struct {
+	cfg  Config
+	tr   Transport
+	addr string
+
+	submitCh  chan [][]byte // pre-fragmented chunks of one message
+	closeCh   chan struct{}
+	closeOnce sync.Once
+	done      chan struct{}
+
+	deliveries *pump[Delivery]
+	views      *pump[Membership]
+
+	// Protocol state below is owned exclusively by the run goroutine.
+	state    int
+	ring     ringIdentity
+	prevRing ringIdentity
+	members  []string
+	seqHigh  uint64
+	myAru    uint64
+	gcLow    uint64
+	store    map[uint64]*dataMsg
+	pending  []*dataMsg
+	msgID    uint64
+	reasm    map[string]*partial
+	round    uint64
+	miss     map[uint64]int
+
+	joinInfo     map[string]joinRecord
+	stableSince  time.Time
+	aliveKey     string
+	lastJoinSent time.Time
+	maxEpoch     uint64
+
+	// pendingViews holds view changes whose stream position (StartSeq) the
+	// local aru has not reached yet; they are released by advanceAru.
+	pendingViews []pendingView
+
+	lastTokenAt   time.Time
+	lastSentToken *tokenMsg
+	lastSentAt    time.Time
+	tokenResends  int
+	// parkedToken holds the token while pacing an idle ring (including the
+	// single-member self-delivery case); it is released on the next tick,
+	// or immediately when new messages are enqueued.
+	parkedToken    *tokenMsg
+	lastAnnounceAt time.Time
+
+	nMulticasts atomic.Uint64
+	nChunks     atomic.Uint64
+	nRetrans    atomic.Uint64
+	nRotations  atomic.Uint64
+	nDeliveries atomic.Uint64
+	nViews      atomic.Uint64
+	nTombstones atomic.Uint64
+}
+
+// Start creates a processor on the given transport and begins gathering
+// membership immediately.
+func Start(cfg Config) (*Processor, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Transport == nil {
+		return nil, errors.New("totem: Config.Transport is required")
+	}
+	addr := cfg.Transport.Addr()
+	if len(addr) > 64 {
+		return nil, fmt.Errorf("%w: %q", ErrAddrTooLong, addr)
+	}
+	if cfg.Transport.MTU() < fragMargin+64 {
+		return nil, fmt.Errorf("%w: %d", ErrMTUTooSmall, cfg.Transport.MTU())
+	}
+	p := &Processor{
+		cfg:        cfg,
+		tr:         cfg.Transport,
+		addr:       addr,
+		submitCh:   make(chan [][]byte, 256),
+		closeCh:    make(chan struct{}),
+		done:       make(chan struct{}),
+		deliveries: newPump[Delivery](),
+		views:      newPump[Membership](),
+		store:      make(map[uint64]*dataMsg),
+		reasm:      make(map[string]*partial),
+		miss:       make(map[uint64]int),
+		joinInfo:   make(map[string]joinRecord),
+	}
+	go p.run()
+	return p, nil
+}
+
+// Addr returns the processor's transport address.
+func (p *Processor) Addr() string { return p.addr }
+
+// Deliveries returns the agreed-order delivery stream.
+func (p *Processor) Deliveries() <-chan Delivery { return p.deliveries.Out() }
+
+// Views returns the membership view stream.
+func (p *Processor) Views() <-chan Membership { return p.views.Out() }
+
+// Stats returns a snapshot of the protocol counters.
+func (p *Processor) Stats() Stats {
+	return Stats{
+		Multicasts:     p.nMulticasts.Load(),
+		ChunksSent:     p.nChunks.Load(),
+		Retransmits:    p.nRetrans.Load(),
+		TokenRotations: p.nRotations.Load(),
+		Deliveries:     p.nDeliveries.Load(),
+		ViewChanges:    p.nViews.Load(),
+		Tombstones:     p.nTombstones.Load(),
+	}
+}
+
+// Multicast submits one application message for reliable totally-ordered
+// delivery to all ring members (including the sender). The payload is
+// fragmented into MTU-sized chunks transparently; delivery is whole
+// messages. Multicast may block briefly when the submit queue is full.
+func (p *Processor) Multicast(payload []byte) error {
+	chunkSize := p.tr.MTU() - fragMargin - len(p.addr)
+	var chunks [][]byte
+	if len(payload) == 0 {
+		chunks = [][]byte{{}}
+	}
+	for off := 0; off < len(payload); off += chunkSize {
+		end := min(off+chunkSize, len(payload))
+		c := make([]byte, end-off)
+		copy(c, payload[off:end])
+		chunks = append(chunks, c)
+	}
+	select {
+	case p.submitCh <- chunks:
+		p.nMulticasts.Add(1)
+		return nil
+	case <-p.done:
+		return ErrStopped
+	}
+}
+
+// Stop shuts the processor down and closes its transport. Other members
+// detect the silence as a failure and reform the ring.
+func (p *Processor) Stop() {
+	p.closeOnce.Do(func() { close(p.closeCh) })
+	<-p.done
+}
+
+func (p *Processor) run() {
+	defer func() {
+		p.tr.Close()
+		// Drain the transport so its forwarding goroutine can exit.
+		go func() {
+			for range p.tr.Recv() {
+			}
+		}()
+		p.deliveries.Close()
+		p.views.Close()
+		close(p.done)
+	}()
+	ticker := time.NewTicker(p.cfg.Tick)
+	defer ticker.Stop()
+
+	p.enterGather(time.Now())
+
+	for {
+		select {
+		case <-p.closeCh:
+			return
+		case chunks := <-p.submitCh:
+			p.enqueue(chunks)
+			if p.parkedToken != nil && p.state == stateOperational {
+				// Wake a paced token immediately so enqueueing does not
+				// cost a tick of latency.
+				p.releaseParked(time.Now())
+			}
+		case pkt, ok := <-p.tr.Recv():
+			if !ok {
+				return
+			}
+			p.handlePacket(pkt, time.Now())
+		case now := <-ticker.C:
+			p.onTick(now)
+		}
+	}
+}
+
+func (p *Processor) enqueue(chunks [][]byte) {
+	p.msgID++
+	id := p.msgID
+	total := uint32(len(chunks))
+	for i, c := range chunks {
+		p.pending = append(p.pending, &dataMsg{
+			Sender:    p.addr,
+			MsgID:     id,
+			FragIdx:   uint32(i),
+			FragTotal: total,
+			Payload:   c,
+		})
+	}
+}
+
+func (p *Processor) handlePacket(pkt Packet, now time.Time) {
+	msg, err := decodePacket(pkt.Payload)
+	if err != nil {
+		return // corrupt frame: drop, like a bad checksum
+	}
+	switch m := msg.(type) {
+	case *dataMsg:
+		p.handleData(m, now)
+	case *tokenMsg:
+		p.handleToken(m, now)
+	case *joinMsg:
+		p.handleJoin(m, now)
+	case *formMsg:
+		p.handleForm(m, now)
+	case *announceMsg:
+		p.handleAnnounce(m, now)
+	}
+}
+
+// --- operational phase ---
+
+func (p *Processor) handleData(m *dataMsg, now time.Time) {
+	if p.state != stateOperational {
+		return
+	}
+	if m.Ring != p.ring {
+		// Stale traffic from a superseded ring (in flight across a
+		// reformation) or genuinely foreign traffic. Either way ignore it:
+		// lineage peers recover real gaps by retransmission, and foreign
+		// rings are discovered through the announce beacon, which carries
+		// enough identity to distinguish stale from foreign.
+		return
+	}
+	if m.Seq <= p.gcLow || m.Seq <= p.myAru {
+		return // already garbage-collected or delivered
+	}
+	if _, dup := p.store[m.Seq]; dup {
+		return
+	}
+	p.store[m.Seq] = m
+	delete(p.miss, m.Seq)
+	if m.Seq > p.seqHigh {
+		p.seqHigh = m.Seq
+	}
+	p.advanceAru()
+}
+
+// handleAnnounce reacts to a ring beacon: a beacon naming a ring we are
+// not part of means a foreign ring shares the segment (healed partition),
+// so we reform to merge — unless the beacon is recognizably stale (its
+// representative is one of our members and its epoch is not newer).
+func (p *Processor) handleAnnounce(m *announceMsg, now time.Time) {
+	if m.Ring.Epoch > p.maxEpoch {
+		// Gatherers learn the current epoch from beacons so their joins
+		// are not dismissed as stale.
+		p.maxEpoch = m.Ring.Epoch
+	}
+	if p.state != stateOperational || m.Ring == p.ring {
+		return
+	}
+	if slices.Contains(p.members, m.Ring.Rep) && m.Ring.Epoch <= p.ring.Epoch {
+		return // stale beacon from one of our own earlier rings
+	}
+	p.enterGather(now)
+}
+
+func (p *Processor) handleToken(tok *tokenMsg, now time.Time) {
+	if p.state != stateOperational || tok.Ring != p.ring {
+		return
+	}
+	if tok.Round <= p.round {
+		return // duplicate from token retransmission
+	}
+	p.round = tok.Round
+	p.lastTokenAt = now
+	p.lastSentToken = nil
+	p.tokenResends = 0
+
+	if tok.Seq > p.seqHigh {
+		p.seqHigh = tok.Seq
+	}
+
+	// 1. Serve retransmission requests we can satisfy.
+	served := 0
+	var unsatisfied []uint64
+	for _, s := range tok.Rtr {
+		if m, ok := p.store[s]; ok && m.FragTotal > 0 {
+			re := *m
+			re.Ring = p.ring // re-tag under the current ring
+			p.bcast(re.encode())
+			p.nRetrans.Add(1)
+			served++
+		} else if s > p.gcLow {
+			unsatisfied = append(unsatisfied, s)
+		}
+	}
+
+	// 2. Request what we are missing.
+	rtr := unsatisfied
+	have := make(map[uint64]bool, len(rtr))
+	for _, s := range rtr {
+		have[s] = true
+	}
+	for s := p.myAru + 1; s <= tok.Seq && len(rtr) < maxRtrPerToken; s++ {
+		if _, ok := p.store[s]; ok || have[s] {
+			continue
+		}
+		rtr = append(rtr, s)
+		p.miss[s]++
+		if p.miss[s] > p.cfg.MissThreshold {
+			// No live member holds this message: skip it with a tombstone
+			// so delivery can proceed (see package doc).
+			p.store[s] = &dataMsg{Ring: p.ring, Seq: s, FragTotal: 0}
+			delete(p.miss, s)
+			rtr = rtr[:len(rtr)-1]
+			p.nTombstones.Add(1)
+		}
+	}
+	tok.Rtr = rtr
+	p.advanceAru()
+
+	// 3. Multicast pending chunks while we hold the token.
+	sent := p.sendPending(tok)
+
+	// Token idling: after several completely idle rotations, holders pace
+	// the token to one hop per tick instead of spinning at wire speed.
+	// The threshold keeps request/reply bursts at full token speed (a
+	// paced token would add up to members×tick to every invocation) while
+	// bounding the CPU burned by a long-idle ring.
+	if served > 0 || sent > 0 || len(tok.Rtr) > 0 || p.myAru < tok.Seq {
+		tok.IdleHops = 0
+	} else if int(tok.IdleHops) <= 2*idleRotations*len(p.members) {
+		tok.IdleHops++
+	}
+
+	// 4. Aggregate aru; a completed rotation fixes the GC point.
+	if tok.AruSetter == "" || tok.AruSetter == p.addr {
+		if tok.AruSetter == p.addr {
+			tok.GCSeq = tok.Aru
+			p.nRotations.Add(1)
+		}
+		tok.Aru = p.myAru
+		tok.AruSetter = p.addr
+	} else if p.myAru < tok.Aru {
+		tok.Aru = p.myAru
+	}
+
+	// 5. Garbage-collect messages everyone has.
+	if tok.GCSeq > p.gcLow {
+		for s := p.gcLow + 1; s <= tok.GCSeq; s++ {
+			delete(p.store, s)
+		}
+		p.gcLow = tok.GCSeq
+	}
+
+	// 6. Forward the token.
+	p.forwardToken(tok, now)
+}
+
+// sendPending multicasts queued chunks while holding the token, bounded by
+// MaxPerToken, and returns how many were sent.
+func (p *Processor) sendPending(tok *tokenMsg) int {
+	n := 0
+	for ; n < p.cfg.MaxPerToken && len(p.pending) > 0; n++ {
+		m := p.pending[0]
+		p.pending = p.pending[1:]
+		tok.Seq++
+		m.Ring = p.ring
+		m.Seq = tok.Seq
+		p.store[m.Seq] = m
+		if m.Seq > p.seqHigh {
+			p.seqHigh = m.Seq
+		}
+		p.bcast(m.encode())
+		p.nChunks.Add(1)
+	}
+	if n > 0 {
+		p.advanceAru()
+	}
+	return n
+}
+
+func (p *Processor) forwardToken(tok *tokenMsg, now time.Time) {
+	tok.Round++
+	succ := p.successor()
+	if succ == p.addr {
+		// Single-member ring: drain everything pending, then pace the
+		// token at one pass per tick instead of spinning at wire speed.
+		for len(p.pending) > 0 {
+			p.sendPending(tok)
+		}
+		p.parkedToken = tok
+		return
+	}
+	if int(tok.IdleHops) >= idleRotations*len(p.members) {
+		// Long-idle ring: pace to one hop per tick.
+		p.parkedToken = tok
+		return
+	}
+	p.transmitToken(tok, succ, now)
+}
+
+func (p *Processor) transmitToken(tok *tokenMsg, succ string, now time.Time) {
+	p.lastSentToken = tok
+	p.lastSentAt = now
+	p.tokenResends = 0
+	_ = p.tr.Send(succ, tok.encode())
+}
+
+// releaseParked resumes a paced token: any newly-enqueued chunks are sent
+// first, then the token moves on (or is re-handled on single-member rings).
+func (p *Processor) releaseParked(now time.Time) {
+	tok := p.parkedToken
+	p.parkedToken = nil
+	if p.state != stateOperational || tok.Ring != p.ring {
+		return // ring changed while parked; the new ring mints a new token
+	}
+	if len(p.pending) > 0 {
+		if p.sendPending(tok) > 0 {
+			tok.IdleHops = 0
+		}
+	}
+	succ := p.successor()
+	if succ == p.addr {
+		p.handleToken(tok, now)
+		return
+	}
+	p.transmitToken(tok, succ, now)
+}
+
+func (p *Processor) successor() string {
+	i := slices.Index(p.members, p.addr)
+	if i < 0 {
+		return p.addr
+	}
+	return p.members[(i+1)%len(p.members)]
+}
+
+// pendingView is a view change waiting for its stream position.
+type pendingView struct {
+	at   uint64
+	view Membership
+}
+
+// advanceAru delivers every message that has become contiguous, releasing
+// pending view changes at their stream positions.
+func (p *Processor) advanceAru() {
+	p.releaseViews()
+	for {
+		m, ok := p.store[p.myAru+1]
+		if !ok {
+			break
+		}
+		p.myAru++
+		delete(p.miss, p.myAru)
+		p.deliverMsg(m)
+		p.releaseViews()
+	}
+}
+
+func (p *Processor) releaseViews() {
+	for len(p.pendingViews) > 0 && p.myAru >= p.pendingViews[0].at {
+		pv := p.pendingViews[0]
+		p.pendingViews = p.pendingViews[1:]
+		v := pv.view
+		p.nViews.Add(1)
+		p.views.In(v)
+		p.deliveries.In(Delivery{Seq: pv.at, View: &v})
+	}
+}
+
+func (p *Processor) deliverMsg(m *dataMsg) {
+	if m.FragTotal == 0 {
+		return // tombstone for an unrecoverable message
+	}
+	if m.FragTotal == 1 {
+		p.emit(Delivery{Seq: m.Seq, Sender: m.Sender, Payload: m.Payload})
+		return
+	}
+	key := m.Sender
+	pa := p.reasm[key]
+	if m.FragIdx == 0 {
+		pa = &partial{}
+		p.reasm[key] = pa
+	}
+	if pa == nil || pa.broken || pa.next != m.FragIdx {
+		// A fragment whose predecessors were lost (tombstoned): the whole
+		// message is undeliverable; drop the remainder quietly.
+		if pa != nil {
+			pa.broken = true
+		}
+		if m.FragIdx == m.FragTotal-1 {
+			delete(p.reasm, key)
+		}
+		return
+	}
+	pa.frags = append(pa.frags, m.Payload)
+	pa.next++
+	if pa.next == m.FragTotal {
+		delete(p.reasm, key)
+		var size int
+		for _, f := range pa.frags {
+			size += len(f)
+		}
+		joined := make([]byte, 0, size)
+		for _, f := range pa.frags {
+			joined = append(joined, f...)
+		}
+		p.emit(Delivery{Seq: m.Seq, Sender: m.Sender, Payload: joined})
+	}
+}
+
+func (p *Processor) emit(d Delivery) {
+	p.nDeliveries.Add(1)
+	p.deliveries.In(d)
+}
+
+// --- gather phase (membership) ---
+
+func (p *Processor) enterGather(now time.Time) {
+	if p.state == stateOperational {
+		p.prevRing = p.ring
+	}
+	p.state = stateGather
+	p.joinInfo = make(map[string]joinRecord)
+	p.stableSince = now
+	p.aliveKey = ""
+	p.lastSentToken = nil
+	p.parkedToken = nil
+	p.sendJoin(now)
+}
+
+func (p *Processor) sendJoin(now time.Time) {
+	p.lastJoinSent = now
+	j := &joinMsg{
+		Sender:   p.addr,
+		Alive:    p.aliveSet(now),
+		PrevRing: p.prevRing,
+		HighSeq:  p.seqHigh,
+		MaxEpoch: p.maxEpoch,
+	}
+	p.bcast(j.encode())
+}
+
+func (p *Processor) aliveSet(now time.Time) []string {
+	alive := []string{p.addr}
+	for a, rec := range p.joinInfo {
+		if now.Sub(rec.seenAt) <= p.cfg.JoinExpiry && a != p.addr {
+			alive = append(alive, a)
+		}
+	}
+	slices.Sort(alive)
+	return alive
+}
+
+func (p *Processor) handleJoin(j *joinMsg, now time.Time) {
+	if j.MaxEpoch > p.maxEpoch {
+		p.maxEpoch = j.MaxEpoch
+	}
+	if j.Sender == p.addr {
+		return
+	}
+	if p.state == stateOperational {
+		if j.MaxEpoch < p.ring.Epoch {
+			// A stale join, sent before our ring formed (typically one in
+			// flight from the gather that produced this very ring). Do not
+			// reform; instead tell the sender which ring is current so a
+			// genuine joiner can re-join with a fresh epoch.
+			ann := announceMsg{Ring: p.ring}
+			_ = p.tr.Send(j.Sender, ann.encode())
+			return
+		}
+		// Someone with current knowledge is rejoining or merging: reform.
+		p.enterGather(now)
+	}
+	p.joinInfo[j.Sender] = joinRecord{msg: j, seenAt: now}
+	if j.HighSeq > 0 && j.PrevRing == p.prevRing && j.HighSeq > p.seqHigh {
+		// A lineage peer knows of more messages than we do.
+		p.seqHigh = j.HighSeq
+	}
+}
+
+func (p *Processor) handleForm(f *formMsg, now time.Time) {
+	if f.Ring.Epoch > p.maxEpoch {
+		p.maxEpoch = f.Ring.Epoch
+	}
+	if !slices.Contains(f.Members, p.addr) {
+		return
+	}
+	if p.state == stateOperational && f.Ring.Epoch <= p.ring.Epoch {
+		return
+	}
+	if f.Ring.Rep == p.addr && p.state == stateOperational && f.Ring == p.ring {
+		return // our own broadcast echoed back
+	}
+	p.installRing(f, now)
+}
+
+func (p *Processor) installRing(f *formMsg, now time.Time) {
+	continued := p.prevRing == f.Lineage && !f.Lineage.isZero()
+	// A brand-new lineage (everyone fresh, epoch 1 with zero lineage)
+	// also "continues" trivially from sequence 0.
+	if f.Lineage.isZero() && p.prevRing.isZero() {
+		continued = true
+	}
+	p.state = stateOperational
+	p.ring = f.Ring
+	p.prevRing = f.Ring
+	p.members = slices.Clone(f.Members)
+	slices.Sort(p.members)
+	p.round = 0
+	p.lastTokenAt = now
+	p.lastSentToken = nil
+	p.parkedToken = nil
+	p.lastAnnounceAt = now
+	p.miss = make(map[uint64]int)
+	if f.Ring.Epoch > p.maxEpoch {
+		p.maxEpoch = f.Ring.Epoch
+	}
+	reset := !continued
+	if reset {
+		p.store = make(map[uint64]*dataMsg)
+		p.reasm = make(map[string]*partial)
+		p.myAru = f.StartSeq
+		p.gcLow = f.StartSeq
+		p.seqHigh = f.StartSeq
+		// Views queued for positions in the abandoned sequence space are
+		// meaningless now.
+		p.pendingViews = nil
+	} else {
+		if f.StartSeq > p.seqHigh {
+			p.seqHigh = f.StartSeq
+		}
+		// Drop partial reassemblies from members that did not survive.
+		for sender := range p.reasm {
+			if !slices.Contains(p.members, sender) {
+				delete(p.reasm, sender)
+			}
+		}
+	}
+	p.pendingViews = append(p.pendingViews, pendingView{
+		at: f.StartSeq,
+		view: Membership{
+			Epoch:    f.Ring.Epoch,
+			Rep:      f.Ring.Rep,
+			Members:  slices.Clone(p.members),
+			Reset:    reset,
+			StartSeq: f.StartSeq,
+		},
+	})
+	p.releaseViews()
+	if f.Ring.Rep == p.addr {
+		// The representative injects the first token.
+		tok := &tokenMsg{
+			Ring:      f.Ring,
+			Round:     0,
+			Seq:       f.StartSeq,
+			Aru:       p.myAru,
+			AruSetter: p.addr,
+			GCSeq:     p.gcLow,
+		}
+		p.forwardToken(tok, now)
+	}
+}
+
+func (p *Processor) tryFormRing(now time.Time) {
+	alive := p.aliveSet(now)
+	key := strings.Join(alive, ",")
+	if key != p.aliveKey {
+		p.aliveKey = key
+		p.stableSince = now
+		return
+	}
+	if now.Sub(p.stableSince) < p.cfg.StableFor {
+		return
+	}
+	if alive[0] != p.addr {
+		return // not the representative
+	}
+	// Choose the continuation lineage: our own previous ring. StartSeq is
+	// the highest sequence known among lineage members.
+	lineage := p.prevRing
+	startSeq := p.seqHigh
+	for _, a := range alive {
+		rec, ok := p.joinInfo[a]
+		if !ok {
+			continue
+		}
+		if rec.msg.PrevRing == lineage && rec.msg.HighSeq > startSeq {
+			startSeq = rec.msg.HighSeq
+		}
+	}
+	p.maxEpoch++
+	f := &formMsg{
+		Ring:     ringIdentity{Epoch: p.maxEpoch, Rep: p.addr},
+		Members:  alive,
+		Lineage:  lineage,
+		StartSeq: startSeq,
+	}
+	p.bcast(f.encode())
+	p.installRing(f, now)
+}
+
+// --- timers ---
+
+func (p *Processor) onTick(now time.Time) {
+	switch p.state {
+	case stateGather:
+		if now.Sub(p.lastJoinSent) >= p.cfg.JoinInterval {
+			p.sendJoin(now)
+		}
+		p.tryFormRing(now)
+	case stateOperational:
+		if p.parkedToken != nil {
+			p.releaseParked(now)
+			return
+		}
+		if now.Sub(p.lastTokenAt) > p.cfg.TokenLossTimeout {
+			p.enterGather(now)
+			return
+		}
+		if p.lastSentToken != nil && now.Sub(p.lastSentAt) >= p.cfg.TokenResend && p.tokenResends < 3 {
+			p.tokenResends++
+			p.lastSentAt = now
+			_ = p.tr.Send(p.successor(), p.lastSentToken.encode())
+		}
+		if p.ring.Rep == p.addr && now.Sub(p.lastAnnounceAt) >= p.cfg.AnnounceInterval {
+			p.lastAnnounceAt = now
+			ann := announceMsg{Ring: p.ring}
+			p.bcast(ann.encode())
+		}
+	}
+}
+
+func (p *Processor) bcast(payload []byte) {
+	_ = p.tr.Broadcast(payload)
+}

@@ -1,0 +1,310 @@
+package totem
+
+import (
+	"errors"
+	"fmt"
+
+	"eternal/internal/cdr"
+)
+
+// packet type discriminants on the wire.
+const (
+	ptData     byte = 1
+	ptToken    byte = 2
+	ptJoin     byte = 3
+	ptForm     byte = 4
+	ptAnnounce byte = 5
+)
+
+// ErrBadPacket reports an undecodable totem packet.
+var ErrBadPacket = errors.New("totem: bad packet")
+
+// ringIdentity names one ring incarnation. Epoch increases on every
+// reformation; Rep is the representative that formed the ring. The pair is
+// globally unique even across network partitions (two partitions may pick
+// the same epoch but never the same representative).
+type ringIdentity struct {
+	Epoch uint64
+	Rep   string
+}
+
+func (r ringIdentity) String() string { return fmt.Sprintf("ring(%d@%s)", r.Epoch, r.Rep) }
+
+func (r ringIdentity) isZero() bool { return r.Epoch == 0 && r.Rep == "" }
+
+// dataMsg is one totally-ordered multicast chunk. Large application
+// payloads are fragmented into several dataMsgs (paper §6: IIOP messages
+// larger than one Ethernet frame travel as multiple multicast messages).
+type dataMsg struct {
+	Ring      ringIdentity
+	Seq       uint64
+	Sender    string
+	MsgID     uint64
+	FragIdx   uint32
+	FragTotal uint32
+	Payload   []byte
+}
+
+// tokenMsg is the rotating token: it carries the high sequence number, the
+// all-received-up-to aggregation, the garbage-collection point, and the
+// retransmission request list.
+type tokenMsg struct {
+	Ring      ringIdentity
+	Round     uint64
+	Seq       uint64
+	Aru       uint64
+	AruSetter string
+	GCSeq     uint64
+	// IdleHops counts consecutive hops on which the holder had nothing to
+	// send, retransmit or request; after a full idle rotation, holders
+	// pace the token to one hop per tick instead of spinning at wire
+	// speed (Totem's token idling).
+	IdleHops uint32
+	Rtr      []uint64
+}
+
+// announceMsg is a low-rate beacon broadcast by the ring representative so
+// that rings which cannot hear each other's (unicast) tokens discover each
+// other after a partition heals and merge.
+type announceMsg struct {
+	Ring ringIdentity
+}
+
+// joinMsg is broadcast while gathering membership.
+type joinMsg struct {
+	Sender   string
+	Alive    []string
+	PrevRing ringIdentity
+	HighSeq  uint64
+	MaxEpoch uint64
+}
+
+// formMsg installs a new ring. Members whose previous ring identity equals
+// Lineage continue the sequence space; everyone else resets to StartSeq.
+type formMsg struct {
+	Ring     ringIdentity
+	Members  []string
+	Lineage  ringIdentity
+	StartSeq uint64
+}
+
+func encodeRing(e *cdr.Encoder, r ringIdentity) {
+	e.WriteULongLong(r.Epoch)
+	e.WriteString(r.Rep)
+}
+
+func decodeRing(d *cdr.Decoder) (ringIdentity, error) {
+	var r ringIdentity
+	var err error
+	if r.Epoch, err = d.ReadULongLong(); err != nil {
+		return r, err
+	}
+	if r.Rep, err = d.ReadString(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+func encodeStrings(e *cdr.Encoder, ss []string) {
+	e.WriteULong(uint32(len(ss)))
+	for _, s := range ss {
+		e.WriteString(s)
+	}
+}
+
+func decodeStrings(d *cdr.Decoder) ([]string, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n)*4 > uint64(d.Remaining()) {
+		return nil, cdr.ErrLengthOverflow
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		s, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (m *dataMsg) encode() []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(ptData)
+	encodeRing(e, m.Ring)
+	e.WriteULongLong(m.Seq)
+	e.WriteString(m.Sender)
+	e.WriteULongLong(m.MsgID)
+	e.WriteULong(m.FragIdx)
+	e.WriteULong(m.FragTotal)
+	e.WriteOctetSeq(m.Payload)
+	return e.Bytes()
+}
+
+func (m *tokenMsg) encode() []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(ptToken)
+	encodeRing(e, m.Ring)
+	e.WriteULongLong(m.Round)
+	e.WriteULongLong(m.Seq)
+	e.WriteULongLong(m.Aru)
+	e.WriteString(m.AruSetter)
+	e.WriteULongLong(m.GCSeq)
+	e.WriteULong(m.IdleHops)
+	e.WriteULong(uint32(len(m.Rtr)))
+	for _, s := range m.Rtr {
+		e.WriteULongLong(s)
+	}
+	return e.Bytes()
+}
+
+func (m *joinMsg) encode() []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(ptJoin)
+	e.WriteString(m.Sender)
+	encodeStrings(e, m.Alive)
+	encodeRing(e, m.PrevRing)
+	e.WriteULongLong(m.HighSeq)
+	e.WriteULongLong(m.MaxEpoch)
+	return e.Bytes()
+}
+
+func (m *announceMsg) encode() []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(ptAnnounce)
+	encodeRing(e, m.Ring)
+	return e.Bytes()
+}
+
+func (m *formMsg) encode() []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(ptForm)
+	encodeRing(e, m.Ring)
+	encodeStrings(e, m.Members)
+	encodeRing(e, m.Lineage)
+	e.WriteULongLong(m.StartSeq)
+	return e.Bytes()
+}
+
+// decodePacket parses any totem packet, returning one of *dataMsg,
+// *tokenMsg, *joinMsg or *formMsg.
+func decodePacket(buf []byte) (any, error) {
+	d := cdr.NewDecoder(buf, cdr.BigEndian)
+	t, err := d.ReadOctet()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPacket, err)
+	}
+	switch t {
+	case ptData:
+		var m dataMsg
+		if m.Ring, err = decodeRing(d); err != nil {
+			break
+		}
+		if m.Seq, err = d.ReadULongLong(); err != nil {
+			break
+		}
+		if m.Sender, err = d.ReadString(); err != nil {
+			break
+		}
+		if m.MsgID, err = d.ReadULongLong(); err != nil {
+			break
+		}
+		if m.FragIdx, err = d.ReadULong(); err != nil {
+			break
+		}
+		if m.FragTotal, err = d.ReadULong(); err != nil {
+			break
+		}
+		if m.Payload, err = d.ReadOctetSeq(); err != nil {
+			break
+		}
+		return &m, nil
+	case ptToken:
+		var m tokenMsg
+		if m.Ring, err = decodeRing(d); err != nil {
+			break
+		}
+		if m.Round, err = d.ReadULongLong(); err != nil {
+			break
+		}
+		if m.Seq, err = d.ReadULongLong(); err != nil {
+			break
+		}
+		if m.Aru, err = d.ReadULongLong(); err != nil {
+			break
+		}
+		if m.AruSetter, err = d.ReadString(); err != nil {
+			break
+		}
+		if m.GCSeq, err = d.ReadULongLong(); err != nil {
+			break
+		}
+		if m.IdleHops, err = d.ReadULong(); err != nil {
+			break
+		}
+		var n uint32
+		if n, err = d.ReadULong(); err != nil {
+			break
+		}
+		if uint64(n)*8 > uint64(d.Remaining()+8) {
+			err = cdr.ErrLengthOverflow
+			break
+		}
+		for i := uint32(0); i < n; i++ {
+			var s uint64
+			if s, err = d.ReadULongLong(); err != nil {
+				break
+			}
+			m.Rtr = append(m.Rtr, s)
+		}
+		if err != nil {
+			break
+		}
+		return &m, nil
+	case ptJoin:
+		var m joinMsg
+		if m.Sender, err = d.ReadString(); err != nil {
+			break
+		}
+		if m.Alive, err = decodeStrings(d); err != nil {
+			break
+		}
+		if m.PrevRing, err = decodeRing(d); err != nil {
+			break
+		}
+		if m.HighSeq, err = d.ReadULongLong(); err != nil {
+			break
+		}
+		if m.MaxEpoch, err = d.ReadULongLong(); err != nil {
+			break
+		}
+		return &m, nil
+	case ptForm:
+		var m formMsg
+		if m.Ring, err = decodeRing(d); err != nil {
+			break
+		}
+		if m.Members, err = decodeStrings(d); err != nil {
+			break
+		}
+		if m.Lineage, err = decodeRing(d); err != nil {
+			break
+		}
+		if m.StartSeq, err = d.ReadULongLong(); err != nil {
+			break
+		}
+		return &m, nil
+	case ptAnnounce:
+		var m announceMsg
+		if m.Ring, err = decodeRing(d); err != nil {
+			break
+		}
+		return &m, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadPacket, t)
+	}
+	return nil, fmt.Errorf("%w: %v", ErrBadPacket, err)
+}

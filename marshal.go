@@ -1,0 +1,55 @@
+package eternal
+
+import (
+	"eternal/internal/anyval"
+	"eternal/internal/cdr"
+)
+
+// This file re-exports the marshaling surface applications need: CDR
+// encoding for operation parameters and results, and the CORBA `any`
+// carrying application-level state.
+
+// ByteOrder identifies the byte order of a CDR stream.
+type ByteOrder = cdr.ByteOrder
+
+// CDR byte orders.
+const (
+	BigEndian    = cdr.BigEndian
+	LittleEndian = cdr.LittleEndian
+)
+
+// Encoder appends CDR-encoded values (operation arguments, results).
+type Encoder = cdr.Encoder
+
+// Decoder consumes CDR-encoded values.
+type Decoder = cdr.Decoder
+
+// NewEncoder returns a CDR encoder with the given byte order.
+func NewEncoder(order ByteOrder) *Encoder { return cdr.NewEncoder(order) }
+
+// NewDecoder returns a CDR decoder over buf.
+func NewDecoder(buf []byte, order ByteOrder) *Decoder { return cdr.NewDecoder(buf, order) }
+
+// Any is the self-describing CORBA any — the type of application-level
+// state (paper §4.1: "the application-level state is defined to be of the
+// CORBA type any").
+type Any = anyval.Any
+
+// TypeCode describes an Any's type.
+type TypeCode = anyval.TypeCode
+
+// Any constructors for common state shapes.
+var (
+	AnyFromBytes    = anyval.FromBytes
+	AnyFromString   = anyval.FromString
+	AnyFromLong     = anyval.FromLong
+	AnyFromLongLong = anyval.FromLongLong
+	AnyFromDouble   = anyval.FromDouble
+	AnyFromBoolean  = anyval.FromBoolean
+)
+
+// StructOf and SequenceOf build composite TypeCodes for richer state.
+var (
+	StructOf   = anyval.StructOf
+	SequenceOf = anyval.SequenceOf
+)

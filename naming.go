@@ -1,0 +1,256 @@
+package eternal
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"eternal/internal/cdr"
+	"eternal/internal/orb"
+)
+
+// This file implements a CORBA Naming-Service-style directory as a
+// replicated Eternal object: names bound to stringified object references
+// ("IOR:..."), with the directory itself fault-tolerant through the same
+// mechanisms it helps clients bootstrap — the way a CORBA deployment runs
+// its CosNaming root inside the FT infrastructure.
+
+// NamingTypeName is the replica type the naming service registers.
+const NamingTypeName = "eternal.NamingContext"
+
+// Naming exceptions.
+var (
+	// ErrNameNotFound is returned by Resolve/Unbind for unknown names.
+	ErrNameNotFound = errors.New("eternal: name not found")
+	// ErrAlreadyBound is returned by Bind when the name is taken.
+	ErrAlreadyBound = errors.New("eternal: name already bound")
+)
+
+// Naming exception repository ids.
+const (
+	exNotFound     = "IDL:omg.org/CosNaming/NamingContext/NotFound:1.0"
+	exAlreadyBound = "IDL:omg.org/CosNaming/NamingContext/AlreadyBound:1.0"
+)
+
+// namingContext is the replica: a name → stringified-IOR directory.
+type namingContext struct {
+	mu       sync.Mutex
+	bindings map[string]string
+}
+
+func newNamingContext() *namingContext {
+	return &namingContext{bindings: make(map[string]string)}
+}
+
+// Invoke implements the directory operations.
+func (nc *namingContext) Invoke(op string, args []byte, order ByteOrder) ([]byte, error) {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	d := cdr.NewDecoder(args, order)
+	switch op {
+	case "bind", "rebind":
+		name, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		ref, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		if _, taken := nc.bindings[name]; taken && op == "bind" {
+			return nil, &orb.UserException{Name: exAlreadyBound}
+		}
+		nc.bindings[name] = ref
+		return nil, nil
+	case "resolve":
+		name, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		ref, ok := nc.bindings[name]
+		if !ok {
+			return nil, &orb.UserException{Name: exNotFound}
+		}
+		e := cdr.NewEncoder(order)
+		e.WriteString(ref)
+		return e.Bytes(), nil
+	case "unbind":
+		name, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := nc.bindings[name]; !ok {
+			return nil, &orb.UserException{Name: exNotFound}
+		}
+		delete(nc.bindings, name)
+		return nil, nil
+	case "list":
+		names := make([]string, 0, len(nc.bindings))
+		for n := range nc.bindings {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		e := cdr.NewEncoder(order)
+		e.WriteULong(uint32(len(names)))
+		for _, n := range names {
+			e.WriteString(n)
+		}
+		return e.Bytes(), nil
+	default:
+		return nil, orb.BadOperation()
+	}
+}
+
+// GetState marshals the directory (deterministic order).
+func (nc *namingContext) GetState() (Any, error) {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	names := make([]string, 0, len(nc.bindings))
+	for n := range nc.bindings {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	e := cdr.NewEncoder(BigEndian)
+	e.WriteULong(uint32(len(names)))
+	for _, n := range names {
+		e.WriteString(n)
+		e.WriteString(nc.bindings[n])
+	}
+	return AnyFromBytes(e.Bytes()), nil
+}
+
+// SetState restores the directory.
+func (nc *namingContext) SetState(st Any) error {
+	raw, err := st.Bytes()
+	if err != nil {
+		return ErrInvalidState
+	}
+	d := cdr.NewDecoder(raw, BigEndian)
+	n, err := d.ReadULong()
+	if err != nil {
+		return ErrInvalidState
+	}
+	bindings := make(map[string]string, n)
+	for i := uint32(0); i < n; i++ {
+		name, err := d.ReadString()
+		if err != nil {
+			return ErrInvalidState
+		}
+		ref, err := d.ReadString()
+		if err != nil {
+			return ErrInvalidState
+		}
+		bindings[name] = ref
+	}
+	nc.mu.Lock()
+	nc.bindings = bindings
+	nc.mu.Unlock()
+	return nil
+}
+
+// DeployNaming deploys a replicated naming service group. The factory is
+// registered on every running node automatically.
+func (s *System) DeployNaming(group string, props Properties, nodes []string) error {
+	s.RegisterFactory(NamingTypeName, func(oid string) Replica { return newNamingContext() })
+	return s.CreateGroup(GroupSpec{
+		Name: group, TypeName: NamingTypeName, Props: props, Nodes: nodes,
+	})
+}
+
+// NamingClient is a typed client for a deployed naming service.
+type NamingClient struct {
+	obj *ObjectRef
+	cl  *Client
+}
+
+// Naming resolves a typed client for the naming group.
+func (c *Client) Naming(group string) (*NamingClient, error) {
+	obj, err := c.Resolve(group)
+	if err != nil {
+		return nil, err
+	}
+	return &NamingClient{obj: obj, cl: c}, nil
+}
+
+func (n *NamingClient) call(op, name string, extra ...string) ([]byte, error) {
+	e := cdr.NewEncoder(BigEndian)
+	e.WriteString(name)
+	for _, x := range extra {
+		e.WriteString(x)
+	}
+	out, err := n.obj.Invoke(op, e.Bytes())
+	if err != nil {
+		if ue, ok := orb.AsUserException(err); ok {
+			switch ue.Name {
+			case exNotFound:
+				return nil, fmt.Errorf("%w: %q", ErrNameNotFound, name)
+			case exAlreadyBound:
+				return nil, fmt.Errorf("%w: %q", ErrAlreadyBound, name)
+			}
+		}
+		return nil, err
+	}
+	return out, nil
+}
+
+// Bind binds a name to a stringified reference; it fails if taken.
+func (n *NamingClient) Bind(name, stringifiedIOR string) error {
+	_, err := n.call("bind", name, stringifiedIOR)
+	return err
+}
+
+// Rebind binds a name unconditionally.
+func (n *NamingClient) Rebind(name, stringifiedIOR string) error {
+	_, err := n.call("rebind", name, stringifiedIOR)
+	return err
+}
+
+// Unbind removes a binding.
+func (n *NamingClient) Unbind(name string) error {
+	_, err := n.call("unbind", name)
+	return err
+}
+
+// Resolve returns the stringified reference bound to name.
+func (n *NamingClient) Resolve(name string) (string, error) {
+	out, err := n.call("resolve", name)
+	if err != nil {
+		return "", err
+	}
+	d := cdr.NewDecoder(out, BigEndian)
+	return d.ReadString()
+}
+
+// ResolveObject resolves a name and returns a connected object reference
+// through the client's (intercepted) ORB — the full CORBA bootstrap:
+// directory lookup, then invocation, both fault-tolerant.
+func (n *NamingClient) ResolveObject(name string) (*ObjectRef, error) {
+	s, err := n.Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	return n.cl.ORB().ObjectFromString(s)
+}
+
+// List returns all bound names, sorted.
+func (n *NamingClient) List() ([]string, error) {
+	out, err := n.obj.Invoke("list", nil)
+	if err != nil {
+		return nil, err
+	}
+	d := cdr.NewDecoder(out, BigEndian)
+	count, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, count)
+	for i := uint32(0); i < count; i++ {
+		s, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, s)
+	}
+	return names, nil
+}

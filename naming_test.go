@@ -1,0 +1,139 @@
+package eternal_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"eternal"
+)
+
+func deployNaming(t *testing.T, sys *eternal.System, nodes []string) *eternal.NamingClient {
+	t.Helper()
+	err := sys.DeployNaming("naming", eternal.Properties{
+		Style: eternal.Active, InitialReplicas: len(nodes), MinReplicas: 1,
+	}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := sys.Client(nodes[0], "naming-tester")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	nc, err := cl.Naming("naming")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nc
+}
+
+func TestNamingBindResolveUnbind(t *testing.T) {
+	sys := fastSystem(t, "n1", "n2")
+	nc := deployNaming(t, sys, []string{"n1", "n2"})
+
+	if err := nc.Bind("service/alpha", "IOR:00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.Bind("service/alpha", "IOR:01"); !errors.Is(err, eternal.ErrAlreadyBound) {
+		t.Fatalf("double bind err = %v", err)
+	}
+	if err := nc.Rebind("service/alpha", "IOR:02"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := nc.Resolve("service/alpha")
+	if err != nil || got != "IOR:02" {
+		t.Fatalf("resolve = %q, %v", got, err)
+	}
+	if _, err := nc.Resolve("ghost"); !errors.Is(err, eternal.ErrNameNotFound) {
+		t.Fatalf("resolve ghost err = %v", err)
+	}
+	if err := nc.Bind("service/beta", "IOR:0B"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := nc.List()
+	if err != nil || len(names) != 2 || names[0] != "service/alpha" {
+		t.Fatalf("list = %v, %v", names, err)
+	}
+	if err := nc.Unbind("service/alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.Unbind("service/alpha"); !errors.Is(err, eternal.ErrNameNotFound) {
+		t.Fatalf("double unbind err = %v", err)
+	}
+}
+
+// TestNamingBootstrap is the full CORBA bootstrap: an application group's
+// IOGR is published in the (replicated) naming service; a client that
+// knows only the naming service resolves the name and invokes the
+// application object — every step fault-tolerant.
+func TestNamingBootstrap(t *testing.T) {
+	sys := fastSystem(t, "n1", "n2", "n3")
+	nc := deployNaming(t, sys, []string{"n1", "n2"})
+
+	// Deploy the application group and publish its reference.
+	err := sys.CreateGroup(eternal.GroupSpec{
+		Name: "reg", TypeName: "Register",
+		Props: eternal.Properties{Style: eternal.Active, InitialReplicas: 2, MinReplicas: 1},
+		Nodes: []string{"n2", "n3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sys.Node("n2").GroupIOR("reg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.Bind("apps/register", ref.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different client bootstraps purely through the naming service.
+	cl, err := sys.Client("n3", "bootstrapper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	nc2, err := cl.Naming("naming")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := nc2.ResolveObject("apps/register")
+	if err != nil {
+		t.Fatal(err)
+	}
+	setVal(t, obj, "found-via-naming")
+	if got := getVal(t, obj); got != "found-via-naming" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestNamingSurvivesFailover kills a naming replica: the directory state
+// (the bindings) must survive through the ordinary recovery machinery.
+func TestNamingSurvivesFailover(t *testing.T) {
+	sys := fastSystem(t, "n1", "n2")
+	nc := deployNaming(t, sys, []string{"n1", "n2"})
+	for _, name := range []string{"a", "b", "c"} {
+		if err := nc.Bind(name, "IOR:"+name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Node("n1").KillReplica("naming", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := nc.Resolve("b")
+	if err != nil || got != "IOR:b" {
+		t.Fatalf("resolve after failover = %q, %v", got, err)
+	}
+	// Recover and verify the recovered replica carries the directory.
+	if err := sys.Node("n1").RecoverReplica("naming", 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Node("n2").KillReplica("naming", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	names, err := nc.List()
+	if err != nil || len(names) != 3 {
+		t.Fatalf("list from recovered replica = %v, %v", names, err)
+	}
+}

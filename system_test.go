@@ -1,0 +1,469 @@
+package eternal_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"eternal"
+	"eternal/internal/orb"
+	"eternal/internal/totem"
+)
+
+// register is a deterministic register replica used across the tests.
+type register struct {
+	mu  sync.Mutex
+	val string
+	log []string
+}
+
+func (r *register) Invoke(op string, args []byte, order eternal.ByteOrder) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch op {
+	case "set":
+		d := eternal.NewDecoder(args, order)
+		s, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		r.val = s
+		r.log = append(r.log, s)
+		return nil, nil
+	case "get":
+		e := eternal.NewEncoder(order)
+		e.WriteString(r.val)
+		return e.Bytes(), nil
+	case "history":
+		e := eternal.NewEncoder(order)
+		e.WriteULong(uint32(len(r.log)))
+		for _, s := range r.log {
+			e.WriteString(s)
+		}
+		return e.Bytes(), nil
+	default:
+		return nil, orb.BadOperation()
+	}
+}
+
+func (r *register) GetState() (eternal.Any, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := eternal.NewEncoder(eternal.BigEndian)
+	e.WriteString(r.val)
+	e.WriteULong(uint32(len(r.log)))
+	for _, s := range r.log {
+		e.WriteString(s)
+	}
+	return eternal.AnyFromBytes(e.Bytes()), nil
+}
+
+func (r *register) SetState(st eternal.Any) error {
+	raw, err := st.Bytes()
+	if err != nil {
+		return eternal.ErrInvalidState
+	}
+	d := eternal.NewDecoder(raw, eternal.BigEndian)
+	val, err := d.ReadString()
+	if err != nil {
+		return eternal.ErrInvalidState
+	}
+	n, err := d.ReadULong()
+	if err != nil {
+		return eternal.ErrInvalidState
+	}
+	log := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		s, err := d.ReadString()
+		if err != nil {
+			return eternal.ErrInvalidState
+		}
+		log = append(log, s)
+	}
+	r.mu.Lock()
+	r.val, r.log = val, log
+	r.mu.Unlock()
+	return nil
+}
+
+func fastSystem(t *testing.T, nodes ...string) *eternal.System {
+	t.Helper()
+	sys, err := eternal.NewSystem(eternal.SystemConfig{
+		Nodes: nodes,
+		Totem: totem.Config{
+			TokenLossTimeout: 100 * time.Millisecond,
+			JoinInterval:     10 * time.Millisecond,
+			StableFor:        20 * time.Millisecond,
+			Tick:             time.Millisecond,
+		},
+		ManagerTick:    10 * time.Millisecond,
+		DefaultTimeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Shutdown)
+	sys.RegisterFactory("Register", func(oid string) eternal.Replica { return &register{} })
+	return sys
+}
+
+func setVal(t *testing.T, obj *eternal.ObjectRef, s string) {
+	t.Helper()
+	e := eternal.NewEncoder(eternal.BigEndian)
+	e.WriteString(s)
+	if _, err := obj.Invoke("set", e.Bytes()); err != nil {
+		t.Fatalf("set(%q): %v", s, err)
+	}
+}
+
+func getVal(t *testing.T, obj *eternal.ObjectRef) string {
+	t.Helper()
+	out, err := obj.Invoke("get", nil)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	d := eternal.NewDecoder(out, eternal.BigEndian)
+	s, _ := d.ReadString()
+	return s
+}
+
+func history(t *testing.T, obj *eternal.ObjectRef) []string {
+	t.Helper()
+	out, err := obj.Invoke("history", nil)
+	if err != nil {
+		t.Fatalf("history: %v", err)
+	}
+	d := eternal.NewDecoder(out, eternal.BigEndian)
+	n, _ := d.ReadULong()
+	hs := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		s, _ := d.ReadString()
+		hs = append(hs, s)
+	}
+	return hs
+}
+
+func TestSystemQuickstartFlow(t *testing.T) {
+	sys := fastSystem(t, "n1", "n2", "n3")
+	err := sys.CreateGroup(eternal.GroupSpec{
+		Name: "reg", TypeName: "Register",
+		Props: eternal.Properties{Style: eternal.Active, InitialReplicas: 3, MinReplicas: 2},
+		Nodes: []string{"n1", "n2", "n3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := sys.Client("n1", "tester")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	obj, err := cl.Resolve("reg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	setVal(t, obj, "hello")
+	if got := getVal(t, obj); got != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSystemNodeCrashAndRestart(t *testing.T) {
+	sys := fastSystem(t, "n1", "n2", "n3")
+	err := sys.CreateGroup(eternal.GroupSpec{
+		Name: "reg", TypeName: "Register",
+		Props: eternal.Properties{Style: eternal.Active, InitialReplicas: 3, MinReplicas: 3},
+		Nodes: []string{"n1", "n2", "n3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := sys.Client("n1", "tester")
+	defer cl.Close()
+	obj, _ := cl.Resolve("reg")
+	setVal(t, obj, "before-crash")
+
+	sys.CrashNode("n3")
+	// Service continues through the survivors.
+	setVal(t, obj, "during-outage")
+	if got := getVal(t, obj); got != "during-outage" {
+		t.Fatalf("got %q", got)
+	}
+
+	// The restarted node syncs metadata and the Resource Manager
+	// re-replicates onto it (MinReplicas = 3).
+	n3, err := sys.RestartNode("n3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n3.RegisterFactory("Register", func(oid string) eternal.Replica { return &register{} })
+	if err := sys.Node("n1").AwaitRecovered("reg", "n3", 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Verify the re-replicated copy: kill the others, ask n3's replica.
+	sys.Node("n1").KillReplica("reg", 10*time.Second)
+	sys.Node("n2").KillReplica("reg", 10*time.Second)
+	if got := getVal(t, obj); got != "during-outage" {
+		t.Fatalf("restarted replica state = %q", got)
+	}
+	hs := history(t, obj)
+	if len(hs) != 2 || hs[0] != "before-crash" || hs[1] != "during-outage" {
+		t.Fatalf("history = %v", hs)
+	}
+}
+
+// midTier is a replicated middle-tier object: a server that is also a
+// client of the backend group (paper footnote 2). Its nested invocations
+// must be duplicate-suppressed across its replicas.
+type midTier struct {
+	backend *eternal.ObjectRef
+}
+
+func (m *midTier) Invoke(op string, args []byte, order eternal.ByteOrder) ([]byte, error) {
+	switch op {
+	case "relay":
+		// Nested invocation: set the backend register, then read it back.
+		if _, err := m.backend.Invoke("set", args); err != nil {
+			return nil, err
+		}
+		return m.backend.Invoke("get", nil)
+	default:
+		return nil, orb.BadOperation()
+	}
+}
+
+func (m *midTier) GetState() (eternal.Any, error) { return eternal.AnyFromBytes(nil), nil }
+func (m *midTier) SetState(eternal.Any) error     { return nil }
+
+func TestMultiTierNestedInvocations(t *testing.T) {
+	sys := fastSystem(t, "n1", "n2", "n3")
+	// Backend register, actively replicated on n1+n2.
+	err := sys.CreateGroup(eternal.GroupSpec{
+		Name: "backend", TypeName: "Register",
+		Props: eternal.Properties{Style: eternal.Active, InitialReplicas: 2, MinReplicas: 1},
+		Nodes: []string{"n1", "n2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Middle tier, actively replicated on n2+n3. Each node's factory
+	// shares one client attachment per node (entity name = group name).
+	for _, addr := range []string{"n2", "n3"} {
+		node := sys.Node(addr)
+		cl, err := sys.Client(addr, "mid")
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.RegisterFactory("Mid", func(oid string) eternal.Replica {
+			backend, err := cl.Resolve("backend")
+			if err != nil {
+				panic(err)
+			}
+			return &midTier{backend: backend}
+		})
+	}
+	err = sys.CreateGroup(eternal.GroupSpec{
+		Name: "mid", TypeName: "Mid",
+		Props: eternal.Properties{Style: eternal.Active, InitialReplicas: 2, MinReplicas: 1},
+		Nodes: []string{"n2", "n3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl, _ := sys.Client("n1", "driver")
+	defer cl.Close()
+	mid, err := cl.Resolve("mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := eternal.NewEncoder(eternal.BigEndian)
+	e.WriteString("via-middle-tier")
+	out, err := mid.Invoke("relay", e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := eternal.NewDecoder(out, eternal.BigEndian)
+	if s, _ := d.ReadString(); s != "via-middle-tier" {
+		t.Fatalf("relay returned %q", s)
+	}
+	// The backend must have seen the set exactly once despite two middle
+	// replicas issuing it (duplicate suppression of nested invocations).
+	bcl, _ := sys.Client("n1", "checker")
+	defer bcl.Close()
+	backend, _ := bcl.Resolve("backend")
+	hs := history(t, backend)
+	if len(hs) != 1 || hs[0] != "via-middle-tier" {
+		t.Fatalf("backend history = %v (duplicate nested invocations?)", hs)
+	}
+}
+
+// TestHandshakeReplayE5 is experiment E5: a new server replica whose ORB
+// missed the client-server handshake discards the client's requests
+// (paper §4.2.2) — unless Eternal replays the stored handshake message
+// during recovery, which is the default.
+func TestHandshakeReplayE5(t *testing.T) {
+	run := func(orbState bool) error {
+		sys := fastSystem(t, "h1", "h2")
+		defer sys.Shutdown()
+		for _, a := range sys.Nodes() {
+			sys.Node(a).SetORBStateTransfer(orbState)
+		}
+		err := sys.CreateGroup(eternal.GroupSpec{
+			Name: fmt.Sprintf("reg-%v", orbState), TypeName: "Register",
+			Props: eternal.Properties{Style: eternal.Active, InitialReplicas: 2, MinReplicas: 1},
+			Nodes: []string{"h1", "h2"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		group := fmt.Sprintf("reg-%v", orbState)
+		cl, _ := sys.Client("h1", "driver")
+		defer cl.Close()
+		obj, err := cl.Resolve(group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// First invocations perform (and complete) the handshake; the
+		// client then uses the negotiated short object key.
+		for i := 0; i < 5; i++ {
+			setVal(t, obj, "warm")
+		}
+		// Kill and recover h2's replica, then make it the only one.
+		if err := sys.Node("h2").KillReplica(group, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Node("h2").RecoverReplica(group, 15*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Node("h1").KillReplica(group, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		_, err = obj.InvokeTimeout("get", nil, 3*time.Second)
+		return err
+	}
+	if err := run(true); err != nil {
+		t.Fatalf("with handshake replay the recovered replica must serve: %v", err)
+	}
+	if err := run(false); err == nil {
+		t.Fatal("without handshake replay the request must be discarded (client hangs)")
+	}
+}
+
+func TestWarmPassiveEndToEnd(t *testing.T) {
+	sys := fastSystem(t, "n1", "n2")
+	err := sys.CreateGroup(eternal.GroupSpec{
+		Name: "reg", TypeName: "Register",
+		Props: eternal.Properties{
+			Style: eternal.WarmPassive, InitialReplicas: 2, MinReplicas: 1,
+			CheckpointInterval: 80 * time.Millisecond,
+		},
+		Nodes: []string{"n1", "n2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := sys.Client("n2", "driver")
+	defer cl.Close()
+	obj, _ := cl.Resolve("reg")
+	for i := 0; i < 5; i++ {
+		setVal(t, obj, fmt.Sprintf("v%d", i))
+	}
+	time.Sleep(200 * time.Millisecond) // let a checkpoint land
+	setVal(t, obj, "after-ckpt")
+	sys.Node("n1").KillReplica("reg", 10*time.Second)
+	if err := sys.Node("n2").AwaitPromoted("reg", "n2", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := getVal(t, obj); got != "after-ckpt" {
+		t.Fatalf("after failover: %q", got)
+	}
+	hs := history(t, obj)
+	if len(hs) != 6 {
+		t.Fatalf("history after failover = %v", hs)
+	}
+}
+
+// registerV2 is the upgraded implementation for the Evolution Manager
+// test: same state format, one new operation.
+type registerV2 struct {
+	register
+}
+
+func (r *registerV2) Invoke(op string, args []byte, order eternal.ByteOrder) ([]byte, error) {
+	if op == "version" {
+		e := eternal.NewEncoder(order)
+		e.WriteULong(2)
+		return e.Bytes(), nil
+	}
+	return r.register.Invoke(op, args, order)
+}
+
+// TestEvolutionManagerLiveUpgrade upgrades a running group to a new
+// implementation with no downtime: replicas are replaced one at a time,
+// state carrying over through the ordinary transfer protocol.
+func TestEvolutionManagerLiveUpgrade(t *testing.T) {
+	sys := fastSystem(t, "n1", "n2", "n3")
+	err := sys.CreateGroup(eternal.GroupSpec{
+		Name: "reg", TypeName: "Register",
+		Props: eternal.Properties{Style: eternal.Active, InitialReplicas: 3, MinReplicas: 1},
+		Nodes: []string{"n1", "n2", "n3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := sys.Client("n1", "tester")
+	defer cl.Close()
+	obj, _ := cl.Resolve("reg")
+	setVal(t, obj, "pre-upgrade")
+
+	// v1 has no "version" operation.
+	if _, err := obj.Invoke("version", nil); err == nil {
+		t.Fatal("v1 must not implement version")
+	}
+
+	// Swap in the v2 factory everywhere, keep serving during the upgrade.
+	sys.RegisterFactory("Register", func(oid string) eternal.Replica { return &registerV2{} })
+	upgradeDone := make(chan error, 1)
+	go func() { upgradeDone <- sys.UpgradeGroup("reg") }()
+	stop := make(chan struct{})
+	servedCh := make(chan int, 1)
+	go func() {
+		served := 0
+		defer func() { servedCh <- served }()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if got := getVal(t, obj); got == "" {
+					return
+				}
+				served++
+			}
+		}
+	}()
+	if err := <-upgradeDone; err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	served := <-servedCh
+
+	// The state survived and the new operation exists.
+	if got := getVal(t, obj); got != "pre-upgrade" {
+		t.Fatalf("state after upgrade = %q", got)
+	}
+	out, err := obj.Invoke("version", nil)
+	if err != nil {
+		t.Fatalf("v2 version op: %v", err)
+	}
+	d := eternal.NewDecoder(out, eternal.BigEndian)
+	if v, _ := d.ReadULong(); v != 2 {
+		t.Fatalf("version = %d", v)
+	}
+	if served == 0 {
+		t.Fatal("no invocations served during the upgrade")
+	}
+	t.Logf("served %d invocations during the live upgrade", served)
+}
