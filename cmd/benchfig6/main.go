@@ -8,17 +8,20 @@
 // totally-ordered multicast messages and recovery time grows with state
 // size — the figure's shape.
 //
-//	go run ./cmd/benchfig6 [-iters 5] [-csv]
+//	go run ./cmd/benchfig6 [-iters 5] [-csv] [-json BENCH_fig6.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sync"
 	"time"
 
 	"eternal"
+	"eternal/internal/obs"
 	"eternal/internal/orb"
 	"eternal/internal/simnet"
 	"eternal/internal/totem"
@@ -54,34 +57,75 @@ func (b *blob) SetState(st eternal.Any) error {
 	return nil
 }
 
+// sizePoint is one Figure 6 data point: mean recovery time for one state
+// size, with its per-phase decomposition from the recovery timelines.
+type sizePoint struct {
+	StateBytes  int     `json:"state_bytes"`
+	RecoveryMs  float64 `json:"recovery_ms"`
+	Frames      uint64  `json:"frames"`
+	BytesOnWire uint64  `json:"bytes_on_wire"`
+	CaptureMs   float64 `json:"capture_ms"`
+	TransferMs  float64 `json:"transfer_ms"`
+	ApplyMs     float64 `json:"apply_ms"`
+	ReplayMs    float64 `json:"replay_ms"`
+}
+
 func main() {
 	iters := flag.Int("iters", 5, "recovery cycles per state size")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	jsonPath := flag.String("json", "", "also write the series as JSON to this file (e.g. BENCH_fig6.json)")
 	flag.Parse()
 
 	sizes := []int{10, 1_000, 5_000, 10_000, 25_000, 50_000, 100_000, 150_000, 200_000, 250_000, 300_000, 350_000}
 
 	if *csv {
-		fmt.Println("state_bytes,recovery_ms,frames,bytes_on_wire")
+		fmt.Println("state_bytes,recovery_ms,frames,bytes_on_wire,capture_ms,transfer_ms,apply_ms,replay_ms")
 	} else {
 		fmt.Println("Figure 6 — recovery time of a server replica vs application-level state size")
 		fmt.Println("(100 Mbps simulated Ethernet, MTU 1518, packet-driver client running throughout)")
-		fmt.Printf("%12s  %14s  %10s  %14s\n", "state (B)", "recovery (ms)", "frames", "bytes on wire")
+		fmt.Printf("%12s  %14s  %10s  %14s  %26s\n", "state (B)", "recovery (ms)", "frames", "bytes on wire", "capture/transfer/apply (ms)")
 	}
 
+	var series []sizePoint
 	for _, size := range sizes {
-		ms, frames, bytes := measure(size, *iters)
+		pt := measure(size, *iters)
+		series = append(series, pt)
 		if *csv {
-			fmt.Printf("%d,%.3f,%d,%d\n", size, ms, frames, bytes)
+			fmt.Printf("%d,%.3f,%d,%d,%.3f,%.3f,%.3f,%.3f\n", pt.StateBytes, pt.RecoveryMs,
+				pt.Frames, pt.BytesOnWire, pt.CaptureMs, pt.TransferMs, pt.ApplyMs, pt.ReplayMs)
 		} else {
-			fmt.Printf("%12d  %14.2f  %10d  %14d\n", size, ms, frames, bytes)
+			fmt.Printf("%12d  %14.2f  %10d  %14d  %9.2f/%7.2f/%6.2f\n", pt.StateBytes, pt.RecoveryMs,
+				pt.Frames, pt.BytesOnWire, pt.CaptureMs, pt.TransferMs, pt.ApplyMs)
 		}
+	}
+	if *jsonPath != "" {
+		writeJSON(*jsonPath, map[string]any{
+			"benchmark":   "fig6_recovery_time_vs_state_size",
+			"iters":       *iters,
+			"generated":   time.Now().UTC().Format(time.RFC3339),
+			"medium":      "100 Mbps simulated Ethernet, MTU 1518",
+			"recovery_ms": series,
+		})
 	}
 }
 
-// measure returns the mean recovery time in ms plus mean per-recovery
-// frame and byte counts.
-func measure(stateSize, iters int) (float64, uint64, uint64) {
+func writeJSON(path string, v any) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", path)
+}
+
+// measure returns the mean recovery time, wire cost and per-phase
+// decomposition over iters kill/recover cycles at one state size.
+func measure(stateSize, iters int) sizePoint {
 	sys, err := eternal.NewSystem(eternal.SystemConfig{
 		Nodes: []string{"n1", "n2"},
 		Network: simnet.Config{
@@ -166,5 +210,34 @@ func measure(stateSize, iters int) (float64, uint64, uint64) {
 		bytes += post.BytesOnWire - pre.BytesOnWire
 	}
 	n := uint64(iters)
-	return float64(total.Microseconds()) / float64(iters) / 1000, frames / n, bytes / n
+	pt := sizePoint{
+		StateBytes:  stateSize,
+		RecoveryMs:  float64(total.Microseconds()) / float64(iters) / 1000,
+		Frames:      frames / n,
+		BytesOnWire: bytes / n,
+	}
+	// Phase means from the recovering node's timelines (newest first; the
+	// run produced exactly iters of them on this fresh system).
+	timelines := sys.Node("n2").RecoveryTimelines()
+	if len(timelines) > iters {
+		timelines = timelines[:iters]
+	}
+	for _, tl := range timelines {
+		pt.CaptureMs += phaseMs(tl, obs.PhaseCapture)
+		pt.TransferMs += phaseMs(tl, obs.PhaseTransfer)
+		pt.ApplyMs += phaseMs(tl, obs.PhaseApply)
+		pt.ReplayMs += phaseMs(tl, obs.PhaseReplay)
+	}
+	if len(timelines) > 0 {
+		c := float64(len(timelines))
+		pt.CaptureMs /= c
+		pt.TransferMs /= c
+		pt.ApplyMs /= c
+		pt.ReplayMs /= c
+	}
+	return pt
+}
+
+func phaseMs(tl eternal.RecoveryTimeline, phase string) float64 {
+	return float64(tl.PhaseDuration(phase).Microseconds()) / 1000
 }

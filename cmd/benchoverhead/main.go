@@ -11,14 +11,16 @@
 // is the comparable number; the multi-replica rows additionally show the
 // token-rotation cost that dominates multi-node active replication.
 //
-//	go run ./cmd/benchoverhead [-n 2000]
+//	go run ./cmd/benchoverhead [-n 2000] [-json BENCH_overhead.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"time"
 
 	"eternal"
@@ -36,18 +38,82 @@ func (nullServant) Invoke(op string, args []byte, order eternal.ByteOrder) ([]by
 func (nullServant) GetState() (eternal.Any, error) { return eternal.AnyFromBytes(nil), nil }
 func (nullServant) SetState(eternal.Any) error     { return nil }
 
+// latencyQuantiles holds a histogram's client-visible percentiles in
+// microseconds.
+type latencyQuantiles struct {
+	Count uint64  `json:"count"`
+	P50Us float64 `json:"p50_us"`
+	P95Us float64 `json:"p95_us"`
+	P99Us float64 `json:"p99_us"`
+}
+
+// configRow is one configuration's result in BENCH_overhead.json.
+type configRow struct {
+	Configuration string            `json:"configuration"`
+	Replicas      int               `json:"replicas"`
+	UsPerInv      float64           `json:"us_per_inv"`
+	OverheadPct   float64           `json:"overhead_pct"`
+	Invocation    *latencyQuantiles `json:"invocation_latency,omitempty"`
+	McastDelivery *latencyQuantiles `json:"mcast_delivery_latency,omitempty"`
+}
+
 func main() {
 	n := flag.Int("n", 2000, "invocations per configuration")
+	jsonPath := flag.String("json", "", "also write the results as JSON to this file (e.g. BENCH_overhead.json)")
 	flag.Parse()
 
 	base := benchTCP(*n)
 	fmt.Println("§6 fault-free overhead — response time of a two-way invocation")
 	fmt.Printf("%-28s %12s %12s\n", "configuration", "µs/inv", "overhead")
 	fmt.Printf("%-28s %12.1f %12s\n", "unreplicated IIOP over TCP", base, "—")
+	rows := []configRow{{Configuration: "unreplicated IIOP over TCP", UsPerInv: base}}
 	for _, replicas := range []int{1, 2, 3} {
-		us := benchEternal(*n, replicas)
-		fmt.Printf("%-28s %12.1f %11.0f%%\n",
-			fmt.Sprintf("Eternal, %d-way active", replicas), us, (us-base)/base*100)
+		row := benchEternal(*n, replicas)
+		row.OverheadPct = (row.UsPerInv - base) / base * 100
+		rows = append(rows, row)
+		fmt.Printf("%-28s %12.1f %11.0f%%\n", row.Configuration, row.UsPerInv, row.OverheadPct)
+	}
+	if *jsonPath != "" {
+		writeJSON(*jsonPath, map[string]any{
+			"benchmark":      "sec6_fault_free_overhead",
+			"invocations":    *n,
+			"generated":      time.Now().UTC().Format(time.RFC3339),
+			"baseline_us":    base,
+			"configurations": rows,
+		})
+	}
+}
+
+func writeJSON(path string, v any) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", path)
+}
+
+// quantilesOf extracts a histogram's percentiles from a node registry,
+// converted to microseconds.
+func quantilesOf(r *eternal.MetricsRegistry, name string) *latencyQuantiles {
+	h := r.FindHistogram(name)
+	if h == nil {
+		return nil
+	}
+	s := h.Summary()
+	if s.Count == 0 {
+		return nil
+	}
+	return &latencyQuantiles{
+		Count: s.Count,
+		P50Us: s.P50 * 1e6,
+		P95Us: s.P95 * 1e6,
+		P99Us: s.P99 * 1e6,
 	}
 }
 
@@ -81,7 +147,9 @@ func benchTCP(n int) float64 {
 	return float64(time.Since(start).Microseconds()) / float64(n)
 }
 
-func benchEternal(n, replicas int) float64 {
+// benchEternal times n invocations through a replicas-way active group
+// and reads the client node's latency histograms afterwards.
+func benchEternal(n, replicas int) configRow {
 	nodes := []string{"n1", "n2", "n3"}[:replicas]
 	sys, err := eternal.NewSystem(eternal.SystemConfig{
 		Nodes: nodes,
@@ -128,5 +196,17 @@ func benchEternal(n, replicas int) float64 {
 			log.Fatal(err)
 		}
 	}
-	return float64(time.Since(start).Microseconds()) / float64(n)
+	us := float64(time.Since(start).Microseconds()) / float64(n)
+
+	// The client rode on nodes[0], so that node's registry holds the
+	// end-to-end invocation histogram and its totem layer's multicast
+	// delivery latency.
+	reg := sys.Node(nodes[0]).Metrics()
+	return configRow{
+		Configuration: fmt.Sprintf("Eternal, %d-way active", replicas),
+		Replicas:      replicas,
+		UsPerInv:      us,
+		Invocation:    quantilesOf(reg, "eternal_invocation_seconds"),
+		McastDelivery: quantilesOf(reg, "eternal_totem_mcast_delivery_seconds"),
+	}
 }

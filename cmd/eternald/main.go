@@ -12,6 +12,10 @@
 // Add -drive to run a demo client against the group from this process
 // (invocations stream through the full interception + multicast stack).
 // Every node registers the demo "Register" replica type.
+//
+// Add -admin host:port to serve the observability endpoints: /metrics
+// (Prometheus text), /healthz (membership and roles), /trace (recent
+// message-lifecycle traces) and /debug/pprof/.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -76,7 +81,8 @@ func main() {
 		replicas = flag.String("replicas", "", "comma-separated placement nodes for -create")
 		style    = flag.String("style", "active", "replication style for -create: active|warm|cold")
 		drive    = flag.Bool("drive", false, "run a demo client loop against the -create group")
-		verbose  = flag.Bool("v", false, "log mechanism events (state transfers, failovers)")
+		logLevel = flag.String("log-level", "", "log mechanism events at this level: debug|info|warn|error (empty disables)")
+		admin    = flag.String("admin", "", "serve /metrics, /healthz, /trace and pprof on this host:port")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -99,8 +105,12 @@ func main() {
 		log.Fatal(err)
 	}
 	nodeCfg := eternal.NodeConfig{Transport: tr}
-	if *verbose {
-		nodeCfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *logLevel != "" {
+		level, err := eternal.ParseLogLevel(*logLevel)
+		if err != nil {
+			log.Fatalf("eternald: %v", err)
+		}
+		nodeCfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	}
 	node, err := eternal.StartNode(nodeCfg)
 	if err != nil {
@@ -108,6 +118,15 @@ func main() {
 	}
 	defer node.Stop()
 	node.RegisterFactory("Register", func(oid string) eternal.Replica { return &registerReplica{} })
+
+	if *admin != "" {
+		go func() {
+			log.Printf("admin endpoint on http://%s/ (metrics, healthz, trace, debug/pprof)", *admin)
+			if err := http.ListenAndServe(*admin, node.AdminHandler()); err != nil {
+				log.Printf("admin endpoint: %v", err)
+			}
+		}()
+	}
 
 	log.Printf("eternald %s listening on %s, %d peers", *name, *listen, len(peers))
 	if err := node.AwaitSynced(30 * time.Second); err != nil {

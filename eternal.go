@@ -47,6 +47,7 @@ package eternal
 import (
 	"eternal/internal/core"
 	"eternal/internal/ftcorba"
+	"eternal/internal/obs"
 	"eternal/internal/orb"
 	"eternal/internal/replication"
 )
@@ -102,6 +103,26 @@ type NodeConfig = core.Config
 // multi-node domain over a simulated LAN; StartNode is the building block
 // for custom transports (e.g. cmd/eternald's UDP deployment).
 func StartNode(cfg NodeConfig) (*Node, error) { return core.Start(cfg) }
+
+// Observability surface (see doc/OBSERVABILITY.md): each Node carries a
+// metrics Registry (Node.Metrics, scrapeable via Node.AdminHandler), a
+// message-lifecycle Tracer (Node.Tracer), and a log of per-phase recovery
+// timelines (Node.RecoveryTimelines).
+type (
+	// MetricsRegistry is a node's named collection of counters, gauges and
+	// latency histograms.
+	MetricsRegistry = obs.Registry
+	// MessageTrace follows one invocation through interception, multicast,
+	// total ordering, execution and reply delivery.
+	MessageTrace = obs.Trace
+	// RecoveryTimeline is one recovery's per-phase decomposition (capture,
+	// transfer, apply, replay) — the live form of the paper's Figure 6.
+	RecoveryTimeline = obs.RecoveryTimeline
+)
+
+// ParseLogLevel parses "debug", "info", "warn" or "error" into a
+// slog.Level (eternald's -log-level flag).
+var ParseLogLevel = obs.ParseLevel
 
 // Checkpointable sentinel errors (the standard's exceptions).
 var (

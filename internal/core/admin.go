@@ -1,0 +1,127 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"eternal/internal/replication"
+)
+
+// AdminHandler returns the node's administrative HTTP surface:
+//
+//	/metrics  — Prometheus text exposition of the node's registry
+//	/healthz  — JSON: sync status, live processors, groups and roles
+//	/trace    — JSON: the last n message-lifecycle traces (?n=K, default 20)
+//	/debug/pprof/ — the standard Go profiling endpoints
+//
+// eternald serves it when started with -admin; tests drive it through
+// httptest.
+func (n *Node) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", n.serveMetrics)
+	mux.HandleFunc("/healthz", n.serveHealthz)
+	mux.HandleFunc("/trace", n.serveTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (n *Node) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	n.metrics.WritePrometheus(w)
+}
+
+// healthMember is one group member in the /healthz report.
+type healthMember struct {
+	Node  string `json:"node"`
+	State string `json:"state"`
+	Role  string `json:"role"`
+}
+
+// healthGroup is one object group in the /healthz report.
+type healthGroup struct {
+	Name    string         `json:"name"`
+	Style   string         `json:"style"`
+	Hosted  bool           `json:"hosted"`
+	Members []healthMember `json:"members"`
+}
+
+// healthReport is the /healthz body.
+type healthReport struct {
+	Node   string        `json:"node"`
+	Synced bool          `json:"synced"`
+	Live   []string      `json:"live"`
+	Groups []healthGroup `json:"groups"`
+}
+
+func memberStateName(s replication.MemberState) string {
+	switch s {
+	case replication.MemberOperational:
+		return "operational"
+	case replication.MemberRecovering:
+		return "recovering"
+	default:
+		return "unknown"
+	}
+}
+
+func (n *Node) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	done := make(chan healthReport, 1)
+	select {
+	case n.calls <- func() {
+		rep := healthReport{Node: n.addr, Synced: n.synced, Live: append([]string(nil), n.live...)}
+		for _, name := range n.table.Names() {
+			g, ok := n.table.Get(name)
+			if !ok {
+				continue
+			}
+			hg := healthGroup{
+				Name:   name,
+				Style:  g.Spec.Props.Style.String(),
+				Hosted: n.hosts[name] != nil,
+			}
+			primary, hasPrimary := g.Primary()
+			for _, m := range g.Members {
+				role := "member"
+				if hasPrimary && m.Node == primary {
+					role = "primary"
+				}
+				hg.Members = append(hg.Members, healthMember{
+					Node: m.Node, State: memberStateName(m.State), Role: role,
+				})
+			}
+			rep.Groups = append(rep.Groups, hg)
+		}
+		done <- rep
+	}:
+	case <-n.stopCh:
+		http.Error(w, "node stopped", http.StatusServiceUnavailable)
+		return
+	}
+	select {
+	case rep := <-done:
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rep)
+	case <-n.stopCh:
+		http.Error(w, "node stopped", http.StatusServiceUnavailable)
+	}
+}
+
+func (n *Node) serveTrace(w http.ResponseWriter, r *http.Request) {
+	count := 20
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		count = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(n.tracer.Last(count))
+}

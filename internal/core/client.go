@@ -4,12 +4,19 @@ import (
 	"bytes"
 	"net"
 	"sync"
+	"time"
 
 	"eternal/internal/giop"
 	"eternal/internal/interceptor"
+	"eternal/internal/obs"
 	"eternal/internal/recovery"
 	"eternal/internal/replication"
 )
+
+// maxInvocationStarts bounds the in-flight invocation-start map: entries
+// whose reply never arrives (timeouts, oneway mistagged by a peer) must
+// not accumulate forever.
+const maxInvocationStarts = 16384
 
 // clientEntity is the client-side Replication Mechanisms state for one
 // logical client (a plain client process, or the client role of a
@@ -38,6 +45,9 @@ type clientEntity struct {
 	pendingOffsets map[replication.ConnID]uint32
 	// replyFilter suppresses duplicate replies per connection.
 	replyFilter *replication.DupFilter
+	// invocationStarts records interception times of in-flight traced
+	// invocations, keyed by trace id, for the end-to-end latency histogram.
+	invocationStarts map[uint64]time.Time
 	// disableIDTranslation reproduces the Figure 4 failure mode for
 	// experiment E4: ORB-level state is not applied, so a recovered
 	// client replica's request ids restart at zero.
@@ -67,13 +77,32 @@ type egressConn struct {
 
 func newClientEntity(n *Node, name string) *clientEntity {
 	return &clientEntity{
-		node:           n,
-		name:           name,
-		conns:          make(map[replication.ConnID]*egressConn),
-		dialSeq:        make(map[string]uint64),
-		pendingOffsets: make(map[replication.ConnID]uint32),
-		replyFilter:    replication.NewDupFilter(),
+		node:             n,
+		name:             name,
+		conns:            make(map[replication.ConnID]*egressConn),
+		dialSeq:          make(map[string]uint64),
+		pendingOffsets:   make(map[replication.ConnID]uint32),
+		replyFilter:      replication.NewDupFilter(),
+		invocationStarts: make(map[uint64]time.Time),
 	}
+}
+
+func (ce *clientEntity) recordInvocationStart(traceID uint64) {
+	ce.mu.Lock()
+	defer ce.mu.Unlock()
+	if len(ce.invocationStarts) < maxInvocationStarts {
+		ce.invocationStarts[traceID] = time.Now()
+	}
+}
+
+func (ce *clientEntity) takeInvocationStart(traceID uint64) (time.Time, bool) {
+	ce.mu.Lock()
+	defer ce.mu.Unlock()
+	t, ok := ce.invocationStarts[traceID]
+	if ok {
+		delete(ce.invocationStarts, traceID)
+	}
+	return t, ok
 }
 
 // accept is the interceptor.AcceptFunc for this entity: the ORB dialed a
@@ -176,15 +205,24 @@ func (ec *egressConn) forwardRequest(msg *giop.Message) {
 			return
 		}
 	}
+	node := ec.entity.node
+	traceID := node.nextTrace()
 	env := &replication.Envelope{
 		Kind:    replication.KRequest,
 		Group:   ec.id.Group,
 		Conn:    ec.id,
 		OpID:    logical,
 		Oneway:  !req.Header.ResponseExpected,
+		Trace:   traceID,
 		Payload: wire.Marshal(),
 	}
-	ec.entity.node.multicast(env)
+	node.tracer.Begin(traceID, ec.id.Group, ec.id.String(), logical)
+	node.tracer.Hop(traceID, node.addr, obs.HopIntercepted)
+	if !env.Oneway {
+		ec.entity.recordInvocationStart(traceID)
+	}
+	node.tracer.Hop(traceID, node.addr, obs.HopMulticast)
+	node.multicast(env)
 }
 
 // deliverReply routes a totally-ordered reply to the local ORB, after
@@ -219,6 +257,10 @@ func (ce *clientEntity) deliverReply(env *replication.Envelope) {
 		}
 	}
 	msg.WriteTo(ec.mech)
+	ce.node.tracer.Hop(env.Trace, ce.node.addr, obs.HopReplyDelivered)
+	if start, ok := ce.takeInvocationStart(env.Trace); ok {
+		ce.node.invocationHist.ObserveDuration(time.Since(start))
+	}
 }
 
 // snapshotClientConns captures this entity's per-connection logical

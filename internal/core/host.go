@@ -12,6 +12,7 @@ import (
 	"eternal/internal/ftcorba"
 	"eternal/internal/giop"
 	"eternal/internal/interceptor"
+	"eternal/internal/obs"
 	"eternal/internal/orb"
 	"eternal/internal/recovery"
 	"eternal/internal/replication"
@@ -60,6 +61,13 @@ type dispatchItem struct {
 	checkpoint bool
 }
 
+// stateDelivery pairs a decoded set_state bundle with its transfer id, so
+// the dispatcher can stamp the recovery timeline it produces.
+type stateDelivery struct {
+	bundle *recovery.Bundle
+	xferID uint64
+}
+
 // injection is one logical client connection injected into the replica's
 // unmodified server ORB through a buffered in-memory pipe.
 type injection struct {
@@ -83,7 +91,10 @@ type replicaHost struct {
 	// (the paper's Figure 5: the get_state marker heads the queue and the
 	// set_state overwrites it).
 	recovering bool
-	stateCh    chan *recovery.Bundle
+	stateCh    chan stateDelivery
+	// recoverStart is the local time of the synchronization point (host
+	// creation at the KAddMember position) — the recovery timeline's origin.
+	recoverStart time.Time
 
 	// Instance side (nil replica for cold-passive backups).
 	replica ftcorba.Replica
@@ -131,13 +142,16 @@ func newReplicaHost(n *Node, group string, style ftcorba.ReplicationStyle, withI
 		q:          newQueue[dispatchItem](),
 		done:       make(chan struct{}),
 		recovering: recovering,
-		stateCh:    make(chan *recovery.Bundle, 1),
+		stateCh:    make(chan stateDelivery, 1),
 		conns:      make(map[replication.ConnID]*injection),
 		handshakes: make(map[replication.ConnID][][]byte),
 		lastReqID:  make(map[replication.ConnID]uint32),
 		reqFilter:  replication.NewDupFilter(),
 		log:        recovery.NewLog(),
 		ckptMarks:  make(map[uint64]int),
+	}
+	if recovering {
+		h.recoverStart = time.Now()
 	}
 	if withInstance {
 		if err := h.instantiate(); err != nil {
@@ -174,10 +188,28 @@ func (h *replicaHost) groupType() string {
 func (h *replicaHost) run(recovering bool) {
 	if recovering {
 		// Figure 5 steps (i)–(v): hold the queue until set_state arrives,
-		// apply the three kinds of state, then drain.
+		// apply the three kinds of state, then drain. The wait splits into
+		// donor-side capture (measured by the donor, shipped in the bundle)
+		// and transfer; replaying the backlog enqueued while recovering
+		// (§3.3) is the final phase.
 		select {
-		case bundle := <-h.stateCh:
-			h.applyState(bundle)
+		case sd := <-h.stateCh:
+			wait := time.Since(h.recoverStart)
+			capture := min(time.Duration(sd.bundle.CaptureNanos), wait)
+			applyStart := time.Now()
+			h.applyState(sd.bundle)
+			apply := time.Since(applyStart)
+			enqueued := h.q.size()
+			replayStart := time.Now()
+			for i := 0; i < enqueued; i++ {
+				item, ok := h.q.pop()
+				if !ok {
+					return
+				}
+				h.process(item)
+			}
+			h.node.recordRecovery(h.group, sd.xferID, h.recoverStart,
+				capture, wait-capture, apply, time.Since(replayStart), enqueued)
 			h.node.signal(recoveredKey(h.group, h.node.addr))
 		case <-h.done:
 			return
@@ -195,14 +227,16 @@ func (h *replicaHost) run(recovering bool) {
 func (h *replicaHost) process(item dispatchItem) {
 	switch item.kind {
 	case itemRequest:
+		h.node.tracer.Hop(item.env.Trace, h.node.addr, obs.HopDelivered)
 		if item.execute {
 			h.executeRequest(item.env, false)
 		} else {
 			h.log.Append(item.env)
 			h.node.counters.requestsLogged.Add(1)
+			h.node.tracer.Hop(item.env.Trace, h.node.addr, obs.HopLogged)
 		}
 	case itemCapture:
-		h.capture(item.xferID)
+		h.capture(item.xferID, item.checkpoint)
 	case itemApplyCheckpoint:
 		h.applyCheckpoint(item.bundle, item.xferID)
 	case itemPromote:
@@ -233,6 +267,7 @@ func (h *replicaHost) executeRequest(env *replication.Envelope, force bool) {
 		return
 	}
 	if env.Oneway {
+		h.node.tracer.Hop(env.Trace, h.node.addr, obs.HopExecuted)
 		return
 	}
 	// Bound the wait: a server ORB that discards the request (e.g. an
@@ -252,8 +287,10 @@ func (h *replicaHost) executeRequest(env *replication.Envelope, force bool) {
 				Kind:    replication.KReply,
 				Conn:    env.Conn,
 				OpID:    env.OpID,
+				Trace:   env.Trace,
 				Payload: rep.Marshal(),
 			})
+			h.node.tracer.Hop(env.Trace, h.node.addr, obs.HopExecuted)
 			return
 		}
 	}
@@ -331,14 +368,21 @@ func (h *replicaHost) invokeInternal(op string, args []byte) ([]byte, error) {
 // capture is the donor side of a state transfer (Figure 5 steps i–iv):
 // retrieve application-level state with get_state(), piggyback ORB-level
 // and infrastructure-level state, and multicast the fabricated set_state.
-func (h *replicaHost) capture(xferID uint64) {
+// checkpoint distinguishes the periodic captures of passive replication
+// from recovery transfers (only the latter feed the recovery histogram).
+func (h *replicaHost) capture(xferID uint64, checkpoint bool) {
+	captureStart := time.Now()
 	appState, err := h.invokeInternal(ftcorba.OpGetState, nil)
 	if err != nil {
 		// NoStateAvailable or a dead instance: skip this transfer; the
 		// resource manager will retry.
 		return
 	}
-	bundle := &recovery.Bundle{AppState: appState}
+	captureDur := time.Since(captureStart)
+	if !checkpoint {
+		h.node.recoveryCapture.ObserveDuration(captureDur)
+	}
+	bundle := &recovery.Bundle{AppState: appState, CaptureNanos: int64(captureDur)}
 	if !h.disableORBStateTransfer {
 		h.mu.Lock()
 		for conn, hs := range h.handshakes {
@@ -359,7 +403,8 @@ func (h *replicaHost) capture(xferID uint64) {
 	bundle.Infra.RequestFilter = replication.EncodeFilterState(h.reqFilter.Snapshot())
 	h.node.counters.stateCaptures.Add(1)
 	h.node.logger().Info("state captured", "group", h.group, "xfer", xferID,
-		"appStateBytes", len(bundle.AppState), "serverConns", len(bundle.ORB.ServerConns))
+		"appStateBytes", len(bundle.AppState), "serverConns", len(bundle.ORB.ServerConns),
+		"captureDuration", captureDur, "checkpoint", checkpoint)
 	h.node.multicast(&replication.Envelope{
 		Kind:    replication.KSetState,
 		Group:   h.group,

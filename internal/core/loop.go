@@ -6,6 +6,7 @@ import (
 
 	"eternal/internal/faultdetect"
 	"eternal/internal/ftcorba"
+	"eternal/internal/obs"
 	"eternal/internal/recovery"
 	"eternal/internal/replication"
 	"eternal/internal/totem"
@@ -259,6 +260,7 @@ func (n *Node) handleEnvelope(env *replication.Envelope) {
 }
 
 func (n *Node) handleRequest(env *replication.Envelope) {
+	n.tracer.Hop(env.Trace, n.addr, obs.HopOrdered)
 	g, ok := n.table.Get(env.Group)
 	if !ok {
 		return
@@ -407,7 +409,7 @@ func (n *Node) handleSetState(env *replication.Envelope) {
 			if h := n.hosts[env.Group]; h != nil && h.recovering {
 				h.recovering = false
 				select {
-				case h.stateCh <- bundle:
+				case h.stateCh <- stateDelivery{bundle: bundle, xferID: env.XferID}:
 				default:
 				}
 				// The replica is (about to be) operational: begin pull
@@ -460,6 +462,14 @@ func (n *Node) startMonitor(h *replicaHost, interval time.Duration) {
 // --- periodic manager duties ---
 
 func (n *Node) sweep(now time.Time) {
+	// Sample the dispatch backlog (loop-owned map, so sampled here rather
+	// than at scrape time). It spikes during the enqueue-while-recovering
+	// window of §3.3.
+	depth := 0
+	for _, h := range n.hosts {
+		depth += h.q.size()
+	}
+	n.dispatchDepth.Set(int64(depth))
 	if !n.synced {
 		if n.syncWaiting && now.Sub(n.syncReqAt) > syncSelfDeclareAfter {
 			// Nobody answered: we are the first stateful node (cold

@@ -26,6 +26,7 @@ import (
 	"eternal/internal/ftcorba"
 	"eternal/internal/interceptor"
 	"eternal/internal/ior"
+	"eternal/internal/obs"
 	"eternal/internal/orb"
 	"eternal/internal/replication"
 	"eternal/internal/totem"
@@ -58,6 +59,13 @@ type Config struct {
 	// Logger receives structured mechanism events (group lifecycle, state
 	// transfers, faults). Nil disables logging.
 	Logger *slog.Logger
+	// Metrics receives the node's metrics (and the totem processor's). Nil
+	// creates a private registry, retrievable via Node.Metrics(). Sharing a
+	// registry between nodes of one process merges their totem metrics.
+	Metrics *obs.Registry
+	// TraceCapacity bounds the message-lifecycle tracer's ring buffer
+	// (default obs.DefaultTraceCapacity).
+	TraceCapacity int
 }
 
 // Node is one Eternal processor.
@@ -108,6 +116,22 @@ type Node struct {
 	// counters back the Stats surface.
 	counters nodeCounters
 
+	// Observability: the metrics registry, the message-lifecycle tracer,
+	// and the recovery timeline log (paper Figure 6, live).
+	metrics      *obs.Registry
+	tracer       *obs.Tracer
+	timelines    *obs.TimelineLog
+	traceCounter atomic.Uint64
+
+	// Latency instruments, registered once at Start.
+	invocationHist   *obs.Histogram
+	recoveryCapture  *obs.Histogram
+	recoveryTransfer *obs.Histogram
+	recoveryApply    *obs.Histogram
+	recoveryReplay   *obs.Histogram
+	recoveryTotal    *obs.Histogram
+	dispatchDepth    *obs.Gauge
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	loopDone chan struct{}
@@ -127,8 +151,13 @@ func Start(cfg Config) (*Node, error) {
 	if cfg.ManagerTick <= 0 {
 		cfg.ManagerTick = 20 * time.Millisecond
 	}
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
 	tc := cfg.Totem
 	tc.Transport = cfg.Transport
+	tc.Metrics = metrics
 	proc, err := totem.Start(tc)
 	if err != nil {
 		return nil, err
@@ -149,9 +178,28 @@ func Start(cfg Config) (*Node, error) {
 		signaled:   make(map[string]bool),
 		calls:      make(chan func(), 16),
 		faults:     faultdetect.NewNotifier(),
+		metrics:    metrics,
+		tracer:     obs.NewTracer(cfg.TraceCapacity),
+		timelines:  obs.NewTimelineLog(0),
 		stopCh:     make(chan struct{}),
 		loopDone:   make(chan struct{}),
 	}
+	n.counters = newNodeCounters(metrics)
+	registerProcessMetrics(metrics)
+	n.invocationHist = metrics.Histogram("eternal_invocation_seconds",
+		"end-to-end invocation latency: interception to reply delivery", nil)
+	n.recoveryCapture = metrics.Histogram("eternal_recovery_capture_seconds",
+		"get_state() retrieval duration on the donor (recovery transfers only)", nil)
+	n.recoveryTransfer = metrics.Histogram("eternal_recovery_transfer_seconds",
+		"set_state bundle multicast transfer duration seen by the recovering node", nil)
+	n.recoveryApply = metrics.Histogram("eternal_recovery_apply_seconds",
+		"set_state() application duration on the recovering node", nil)
+	n.recoveryReplay = metrics.Histogram("eternal_recovery_replay_seconds",
+		"replay duration of messages enqueued while recovering", nil)
+	n.recoveryTotal = metrics.Histogram("eternal_recovery_total_seconds",
+		"synchronization point to reinstatement, the paper's Figure 6 measure", nil)
+	n.dispatchDepth = metrics.Gauge("eternal_dispatch_queue_depth",
+		"items queued across this node's replica dispatchers")
 	go n.loop()
 	go n.faultLoop()
 	return n, nil
@@ -268,6 +316,42 @@ func (n *Node) GroupIOR(name string) (*ior.IOR, error) {
 // produce.
 func (n *Node) nextXfer() uint64 {
 	return hashName(n.addr)<<32 | (n.xferCounter.Add(1) & 0xFFFFFFFF)
+}
+
+// nextTrace generates a trace id unique across the domain (same scheme as
+// nextXfer); it is stamped into an invocation's envelope at interception
+// and carried by every hop including the reply.
+func (n *Node) nextTrace() uint64 {
+	return hashName(n.addr)<<32 | (n.traceCounter.Add(1) & 0xFFFFFFFF)
+}
+
+// recordRecovery files one completed recovery of a local replica: the
+// per-phase timeline (capture is donor-measured and shipped in the
+// bundle; transfer is the recovering node's wait minus capture), the
+// recovery histograms, and a phase-boundary log event.
+func (n *Node) recordRecovery(group string, xferID uint64, start time.Time, capture, transfer, apply, replay time.Duration, enqueued int) {
+	end := time.Now()
+	n.timelines.Add(obs.RecoveryTimeline{
+		Group:  group,
+		Node:   n.addr,
+		XferID: xferID,
+		Start:  start,
+		End:    end,
+		Phases: []obs.Phase{
+			{Name: obs.PhaseCapture, Duration: capture},
+			{Name: obs.PhaseTransfer, Duration: transfer},
+			{Name: obs.PhaseApply, Duration: apply},
+			{Name: obs.PhaseReplay, Duration: replay},
+		},
+		Enqueued: enqueued,
+	})
+	n.recoveryTransfer.ObserveDuration(transfer)
+	n.recoveryApply.ObserveDuration(apply)
+	n.recoveryReplay.ObserveDuration(replay)
+	n.recoveryTotal.ObserveDuration(end.Sub(start))
+	n.logger().Info("replica recovered", "group", group, "xfer", xferID,
+		"capture", capture, "transfer", transfer, "apply", apply,
+		"replay", replay, "enqueued", enqueued, "total", end.Sub(start))
 }
 
 func hashName(s string) uint64 {

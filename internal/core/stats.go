@@ -1,9 +1,11 @@
 package core
 
 import (
-	"context"
 	"log/slog"
-	"sync/atomic"
+
+	"eternal/internal/giop"
+	"eternal/internal/interceptor"
+	"eternal/internal/obs"
 )
 
 // Stats are one node's cumulative mechanism counters — the observability
@@ -32,50 +34,94 @@ type Stats struct {
 	HandshakesReplayed uint64
 }
 
-// nodeCounters is the atomic backing store for Stats.
+// nodeCounters is the backing store for Stats: registry-owned counters, so
+// the same values feed Stats(), the admin endpoint and any shared scrape.
 type nodeCounters struct {
-	requestsExecuted     atomic.Uint64
-	requestsLogged       atomic.Uint64
-	duplicatesSuppressed atomic.Uint64
-	repliesDelivered     atomic.Uint64
-	duplicateReplies     atomic.Uint64
-	stateCaptures        atomic.Uint64
-	stateApplied         atomic.Uint64
-	promotions           atomic.Uint64
-	handshakesReplayed   atomic.Uint64
+	requestsExecuted     *obs.Counter
+	requestsLogged       *obs.Counter
+	duplicatesSuppressed *obs.Counter
+	repliesDelivered     *obs.Counter
+	duplicateReplies     *obs.Counter
+	stateCaptures        *obs.Counter
+	stateApplied         *obs.Counter
+	promotions           *obs.Counter
+	handshakesReplayed   *obs.Counter
+}
+
+func newNodeCounters(r *obs.Registry) nodeCounters {
+	return nodeCounters{
+		requestsExecuted:     r.Counter("eternal_requests_executed_total", "invocations performed by local replicas"),
+		requestsLogged:       r.Counter("eternal_requests_logged_total", "invocations logged by passive backups"),
+		duplicatesSuppressed: r.Counter("eternal_duplicates_suppressed_total", "invocations dropped by operation-id filtering"),
+		repliesDelivered:     r.Counter("eternal_replies_delivered_total", "replies written into local client ORBs"),
+		duplicateReplies:     r.Counter("eternal_duplicate_replies_total", "replies suppressed at client connections"),
+		stateCaptures:        r.Counter("eternal_state_captures_total", "get_state() captures performed as donor or checkpointing primary"),
+		stateApplied:         r.Counter("eternal_state_applied_total", "set_state() assignments performed"),
+		promotions:           r.Counter("eternal_promotions_total", "backup-to-primary promotions"),
+		handshakesReplayed:   r.Counter("eternal_handshakes_replayed_total", "handshake injections into recovered ORBs"),
+	}
 }
 
 func (c *nodeCounters) snapshot() Stats {
 	return Stats{
-		RequestsExecuted:     c.requestsExecuted.Load(),
-		RequestsLogged:       c.requestsLogged.Load(),
-		DuplicatesSuppressed: c.duplicatesSuppressed.Load(),
-		RepliesDelivered:     c.repliesDelivered.Load(),
-		DuplicateReplies:     c.duplicateReplies.Load(),
-		StateCaptures:        c.stateCaptures.Load(),
-		StateApplied:         c.stateApplied.Load(),
-		Promotions:           c.promotions.Load(),
-		HandshakesReplayed:   c.handshakesReplayed.Load(),
+		RequestsExecuted:     c.requestsExecuted.Value(),
+		RequestsLogged:       c.requestsLogged.Value(),
+		DuplicatesSuppressed: c.duplicatesSuppressed.Value(),
+		RepliesDelivered:     c.repliesDelivered.Value(),
+		DuplicateReplies:     c.duplicateReplies.Value(),
+		StateCaptures:        c.stateCaptures.Value(),
+		StateApplied:         c.stateApplied.Value(),
+		Promotions:           c.promotions.Value(),
+		HandshakesReplayed:   c.handshakesReplayed.Value(),
 	}
 }
 
 // Stats returns a snapshot of the node's mechanism counters.
 func (n *Node) Stats() Stats { return n.counters.snapshot() }
 
+// Metrics returns the node's metrics registry: mechanism counters, the
+// invocation and recovery latency histograms, and the totem processor's
+// traffic metrics, all scrapeable through AdminHandler or directly.
+func (n *Node) Metrics() *obs.Registry { return n.metrics }
+
+// Tracer returns the node's message-lifecycle tracer: the recent
+// invocations this node observed, each with its timestamped hops.
+func (n *Node) Tracer() *obs.Tracer { return n.tracer }
+
+// RecoveryTimelines returns the per-phase timelines of recoveries this
+// node completed as the recovering side, newest first — the live form of
+// the paper's Figure 6 decomposition.
+func (n *Node) RecoveryTimelines() []obs.RecoveryTimeline {
+	return n.timelines.Last(0)
+}
+
 // logger returns the node's structured logger (a discarding logger when
 // none was configured).
 func (n *Node) logger() *slog.Logger {
-	if n.cfg.Logger != nil {
-		return n.cfg.Logger
-	}
-	return discardLogger
+	return obs.LoggerOr(n.cfg.Logger)
 }
 
-var discardLogger = slog.New(discardHandler{})
-
-type discardHandler struct{}
-
-func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
-func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
-func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
-func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+// registerProcessMetrics surfaces the process-wide parsing and
+// interception counters through this node's registry. GIOP parsing and
+// socket interception happen below the level at which a Node exists, so
+// in multi-node processes (tests, simulations) every node reports the
+// same process totals.
+func registerProcessMetrics(r *obs.Registry) {
+	r.CounterFunc("eternal_giop_messages_read_total", "GIOP messages read off streams (process-wide)",
+		func() float64 { return float64(giop.Snapshot().MessagesRead) })
+	r.CounterFunc("eternal_giop_fragments_reassembled_total", "fragmented GIOP messages reassembled (process-wide)",
+		func() float64 { return float64(giop.Snapshot().Reassembled) })
+	r.CounterFunc("eternal_giop_requests_parsed_total", "GIOP request headers parsed (process-wide)",
+		func() float64 { return float64(giop.Snapshot().RequestsParsed) })
+	r.CounterFunc("eternal_giop_replies_parsed_total", "GIOP reply headers parsed (process-wide)",
+		func() float64 { return float64(giop.Snapshot().RepliesParsed) })
+	r.CounterFunc("eternal_intercepted_dials_total", "dials diverted into the Replication Mechanisms (process-wide)",
+		func() float64 { return float64(interceptor.Snapshot().DivertedDials) })
+	r.CounterFunc("eternal_fallback_dials_total", "dials passed through to plain TCP (process-wide)",
+		func() float64 { return float64(interceptor.Snapshot().FallbackDials) })
+	r.CounterFunc("eternal_request_id_rewrites_total", "GIOP request_id translations, both directions (process-wide)",
+		func() float64 {
+			s := interceptor.Snapshot()
+			return float64(s.RequestRewrites + s.ReplyRewrites)
+		})
+}

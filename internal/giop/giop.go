@@ -171,6 +171,7 @@ func readBody(r io.Reader, hdr [HeaderLen]byte) (*Message, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, fmt.Errorf("giop: reading %d-byte body: %w", size, err)
 	}
+	nMessagesRead.Add(1)
 	return &Message{
 		Version:       ver,
 		Order:         order,
@@ -216,6 +217,7 @@ func (g *Reader) Next() (*Message, error) {
 				done := g.pending
 				done.MoreFragments = false
 				g.pending = nil
+				nReassembled.Add(1)
 				return done, nil
 			}
 		case m.MoreFragments:

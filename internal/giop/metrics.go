@@ -1,0 +1,36 @@
+package giop
+
+import "sync/atomic"
+
+// Package-level counters. GIOP parsing happens below the level at which a
+// Node exists (interceptor streams, ORB connections), so the counters are
+// process-wide; internal/core surfaces them through each node's metrics
+// registry as computed counters.
+var (
+	nMessagesRead atomic.Uint64
+	nReassembled  atomic.Uint64
+	nRequests     atomic.Uint64
+	nReplies      atomic.Uint64
+)
+
+// Counters is a snapshot of the package's parsing counters.
+type Counters struct {
+	// MessagesRead counts GIOP messages successfully read off a stream
+	// (fragments count individually).
+	MessagesRead uint64
+	// Reassembled counts fragmented messages completed by Reader.Next.
+	Reassembled uint64
+	// RequestsParsed and RepliesParsed count successful header parses.
+	RequestsParsed uint64
+	RepliesParsed  uint64
+}
+
+// Snapshot returns the current process-wide parsing counters.
+func Snapshot() Counters {
+	return Counters{
+		MessagesRead:   nMessagesRead.Load(),
+		Reassembled:    nReassembled.Load(),
+		RequestsParsed: nRequests.Load(),
+		RepliesParsed:  nReplies.Load(),
+	}
+}

@@ -205,6 +205,7 @@ func ParseRequest(m *Message) (*Request, error) {
 	}
 	args := make([]byte, d.Remaining())
 	copy(args, m.Body[d.Pos():])
+	nRequests.Add(1)
 	return &Request{Header: h, Order: m.Order, Args: args}, nil
 }
 
@@ -309,6 +310,7 @@ func ParseReply(m *Message) (*Reply, error) {
 	}
 	result := make([]byte, d.Remaining())
 	copy(result, m.Body[d.Pos():])
+	nReplies.Add(1)
 	return &Reply{Header: h, Order: m.Order, Result: result}, nil
 }
 

@@ -68,8 +68,10 @@ func (i *Interceptor) Dial(host string, port uint16) (net.Conn, error) {
 		if i.fallback == nil {
 			return nil, fmt.Errorf("interceptor: no route to %q and no fallback dialer", host)
 		}
+		nFallback.Add(1)
 		return i.fallback.Dial(host, port)
 	}
+	nDiverted.Add(1)
 	orbEnd, mechEnd := Pipe()
 	go accept(mechEnd, port)
 	return orbEnd, nil
@@ -86,6 +88,7 @@ func RewriteRequestID(m *giop.Message, id uint32) (*giop.Message, error) {
 		return nil, err
 	}
 	req.Header.RequestID = id
+	nReqRewr.Add(1)
 	return giop.EncodeRequest(m.Version, m.Order, &req.Header, req.Args), nil
 }
 
@@ -97,5 +100,6 @@ func RewriteReplyID(m *giop.Message, id uint32) (*giop.Message, error) {
 		return nil, err
 	}
 	rep.Header.RequestID = id
+	nReplyRewr.Add(1)
 	return giop.EncodeReply(m.Version, m.Order, &rep.Header, rep.Result), nil
 }

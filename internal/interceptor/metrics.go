@@ -1,0 +1,37 @@
+package interceptor
+
+import "sync/atomic"
+
+// Package-level counters: interception happens per ORB connection, below
+// the level at which a Node exists, so the counters are process-wide;
+// internal/core surfaces them through each node's metrics registry as
+// computed counters.
+var (
+	nDiverted  atomic.Uint64
+	nFallback  atomic.Uint64
+	nReqRewr   atomic.Uint64
+	nReplyRewr atomic.Uint64
+)
+
+// Counters is a snapshot of the package's interception counters.
+type Counters struct {
+	// DivertedDials counts dials diverted into the Replication Mechanisms.
+	DivertedDials uint64
+	// FallbackDials counts dials passed through to the fallback dialer
+	// (unreplicated endpoints).
+	FallbackDials uint64
+	// RequestRewrites and ReplyRewrites count GIOP request_id translations
+	// (paper §4.2.1).
+	RequestRewrites uint64
+	ReplyRewrites   uint64
+}
+
+// Snapshot returns the current process-wide interception counters.
+func Snapshot() Counters {
+	return Counters{
+		DivertedDials:   nDiverted.Load(),
+		FallbackDials:   nFallback.Load(),
+		RequestRewrites: nReqRewr.Load(),
+		ReplyRewrites:   nReplyRewr.Load(),
+	}
+}

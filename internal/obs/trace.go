@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// The hops of one invocation's life, in pipeline order. A node records
+// the hops it participates in: the client's node sees interception,
+// multicast and reply delivery; every group member's node sees ordering,
+// dispatch and (if it executes) execution.
+const (
+	// HopIntercepted: the client ORB's outgoing request was diverted by
+	// the socket-level interceptor and parsed.
+	HopIntercepted = "intercepted"
+	// HopMulticast: the request envelope was submitted to the
+	// totally-ordered multicast.
+	HopMulticast = "multicast"
+	// HopOrdered: the envelope came off the delivery stream at its agreed
+	// position in the total order.
+	HopOrdered = "ordered"
+	// HopDelivered: the replica's serial dispatcher picked the item up
+	// (ordered→delivered is the dispatch-queue wait — it grows during the
+	// enqueue-while-recovering window of paper §3.3).
+	HopDelivered = "delivered"
+	// HopExecuted: the replica performed the invocation and its reply (if
+	// any) was multicast.
+	HopExecuted = "executed"
+	// HopLogged: a passive backup appended the invocation to its message
+	// log instead of executing it.
+	HopLogged = "logged"
+	// HopReplyDelivered: the (first) reply was written into the client
+	// ORB's connection.
+	HopReplyDelivered = "reply-delivered"
+)
+
+// Hop is one timestamped step of a trace.
+type Hop struct {
+	Name string    `json:"name"`
+	Node string    `json:"node"`
+	At   time.Time `json:"at"`
+}
+
+// Trace follows one invocation through the replication pipeline.
+type Trace struct {
+	ID    uint64 `json:"id"`
+	Group string `json:"group,omitempty"`
+	Conn  string `json:"conn,omitempty"`
+	OpID  uint32 `json:"op_id"`
+	Hops  []Hop  `json:"hops"`
+}
+
+// Elapsed is the span between the first and last recorded hop.
+func (t *Trace) Elapsed() time.Duration {
+	if len(t.Hops) < 2 {
+		return 0
+	}
+	return t.Hops[len(t.Hops)-1].At.Sub(t.Hops[0].At)
+}
+
+// HopTime returns the timestamp of the named hop's first occurrence.
+func (t *Trace) HopTime(name string) (time.Time, bool) {
+	for _, h := range t.Hops {
+		if h.Name == name {
+			return h.At, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// HasHops reports whether every named hop was recorded.
+func (t *Trace) HasHops(names ...string) bool {
+	for _, n := range names {
+		if _, ok := t.HopTime(n); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// DefaultTraceCapacity bounds a tracer's retained traces when no
+// capacity is given.
+const DefaultTraceCapacity = 256
+
+// Tracer retains the last N message traces of one node. Trace id 0 is
+// the "untraced" sentinel and is ignored everywhere, so uninstrumented
+// envelopes cost nothing.
+type Tracer struct {
+	mu     sync.Mutex
+	cap    int
+	traces map[uint64]*Trace
+	order  []uint64 // creation order, oldest first
+}
+
+// NewTracer creates a tracer retaining up to capacity traces
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{cap: capacity, traces: make(map[uint64]*Trace)}
+}
+
+// Begin starts (or annotates) the trace: group, logical connection and
+// operation id become part of the record.
+func (t *Tracer) Begin(id uint64, group, conn string, opID uint32) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := t.get(id)
+	tr.Group, tr.Conn, tr.OpID = group, conn, opID
+}
+
+// Hop appends a timestamped hop to the trace, creating the trace if this
+// node has not seen the id before (executing nodes never see Begin).
+func (t *Tracer) Hop(id uint64, node, name string) {
+	if t == nil || id == 0 {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := t.get(id)
+	tr.Hops = append(tr.Hops, Hop{Name: name, Node: node, At: now})
+}
+
+// get returns the trace for id, creating and (if over capacity) evicting
+// under the held lock.
+func (t *Tracer) get(id uint64) *Trace {
+	if tr, ok := t.traces[id]; ok {
+		return tr
+	}
+	tr := &Trace{ID: id}
+	t.traces[id] = tr
+	t.order = append(t.order, id)
+	for len(t.order) > t.cap {
+		delete(t.traces, t.order[0])
+		t.order = t.order[1:]
+	}
+	return tr
+}
+
+// Get returns a copy of the trace with the given id.
+func (t *Tracer) Get(id uint64) (Trace, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr, ok := t.traces[id]
+	if !ok {
+		return Trace{}, false
+	}
+	return copyTrace(tr), true
+}
+
+// Last returns copies of the most recent n traces, newest first.
+func (t *Tracer) Last(n int) []Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > len(t.order) {
+		n = len(t.order)
+	}
+	out := make([]Trace, 0, n)
+	for i := len(t.order) - 1; i >= 0 && len(out) < n; i-- {
+		out = append(out, copyTrace(t.traces[t.order[i]]))
+	}
+	return out
+}
+
+// Len reports how many traces are retained.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.order)
+}
+
+func copyTrace(tr *Trace) Trace {
+	cp := *tr
+	cp.Hops = make([]Hop, len(tr.Hops))
+	copy(cp.Hops, tr.Hops)
+	return cp
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTracerLifecycle(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Begin(1, "grp", "cli->grp#0", 7)
+	tr.Hop(1, "n1", HopIntercepted)
+	tr.Hop(1, "n1", HopMulticast)
+	tr.Hop(1, "n1", HopOrdered)
+	got, ok := tr.Get(1)
+	if !ok || got.Group != "grp" || got.OpID != 7 || len(got.Hops) != 3 {
+		t.Fatalf("trace = %+v, ok=%v", got, ok)
+	}
+	if !got.HasHops(HopIntercepted, HopMulticast, HopOrdered) {
+		t.Fatal("recorded hops missing")
+	}
+	if got.HasHops(HopExecuted) {
+		t.Fatal("HasHops must report unrecorded hops")
+	}
+	if got.Hops[0].At.After(got.Hops[2].At) {
+		t.Fatal("hops out of order")
+	}
+	// Hop on an unseen id creates the trace (executing nodes never Begin).
+	tr.Hop(2, "n2", HopOrdered)
+	if got, ok := tr.Get(2); !ok || len(got.Hops) != 1 {
+		t.Fatalf("hop-created trace = %+v, ok=%v", got, ok)
+	}
+	// Trace id 0 is the untraced sentinel.
+	tr.Hop(0, "n1", HopOrdered)
+	if _, ok := tr.Get(0); ok {
+		t.Fatal("trace id 0 must be ignored")
+	}
+}
+
+func TestTracerEviction(t *testing.T) {
+	tr := NewTracer(4)
+	for id := uint64(1); id <= 10; id++ {
+		tr.Hop(id, "n", HopOrdered)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("oldest trace must be evicted")
+	}
+	last := tr.Last(2)
+	if len(last) != 2 || last[0].ID != 10 || last[1].ID != 9 {
+		t.Fatalf("last = %+v", last)
+	}
+	if all := tr.Last(0); len(all) != 4 {
+		t.Fatalf("Last(0) = %d traces, want all 4", len(all))
+	}
+}
+
+func TestRecoveryTimeline(t *testing.T) {
+	now := time.Now()
+	tl := RecoveryTimeline{
+		Group: "g", Node: "n1", Start: now, End: now.Add(10 * time.Millisecond),
+		Phases: []Phase{
+			{Name: PhaseCapture, Duration: 2 * time.Millisecond},
+			{Name: PhaseTransfer, Duration: 5 * time.Millisecond},
+			{Name: PhaseApply, Duration: 1 * time.Millisecond},
+		},
+	}
+	if d := tl.PhaseDuration(PhaseTransfer); d != 5*time.Millisecond {
+		t.Fatalf("transfer = %v", d)
+	}
+	if d := tl.PhaseDuration("absent"); d != 0 {
+		t.Fatalf("absent phase = %v, want 0", d)
+	}
+	if tl.Total() != 8*time.Millisecond {
+		t.Fatalf("total = %v, want 8ms", tl.Total())
+	}
+}
+
+func TestTimelineLog(t *testing.T) {
+	l := NewTimelineLog(3)
+	for i := 0; i < 5; i++ {
+		l.Add(RecoveryTimeline{XferID: uint64(i)})
+	}
+	got := l.Last(0)
+	if len(got) != 3 || got[0].XferID != 4 || got[2].XferID != 2 {
+		t.Fatalf("log = %+v", got)
+	}
+	if one := l.Last(1); len(one) != 1 || one[0].XferID != 4 {
+		t.Fatalf("Last(1) = %+v", one)
+	}
+}

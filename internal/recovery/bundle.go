@@ -60,6 +60,11 @@ type Bundle struct {
 	AppState []byte
 	ORB      ORBState
 	Infra    InfraState
+	// CaptureNanos is the donor-measured duration of the get_state()
+	// retrieval, in nanoseconds. It rides in the bundle so the recovering
+	// node can split its observed wait into capture vs transfer time —
+	// the live form of the paper's Figure 6 decomposition.
+	CaptureNanos int64
 }
 
 // Encode serializes the bundle.
@@ -79,6 +84,7 @@ func (b *Bundle) Encode() []byte {
 	}
 	e.WriteOctetSeq(b.Infra.RequestFilter)
 	e.WriteOctetSeq(b.Infra.ReplyFilter)
+	e.WriteULongLong(uint64(b.CaptureNanos))
 	return e.Bytes()
 }
 
@@ -126,6 +132,11 @@ func DecodeBundle(buf []byte) (*Bundle, error) {
 	if b.Infra.ReplyFilter, err = d.ReadOctetSeq(); err != nil {
 		return nil, err
 	}
+	capture, err := d.ReadULongLong()
+	if err != nil {
+		return nil, err
+	}
+	b.CaptureNanos = int64(capture)
 	return &b, nil
 }
 

@@ -102,6 +102,11 @@ type Envelope struct {
 	Oneway bool
 	// XferID correlates a KAddMember/KCheckpoint with its KSetState.
 	XferID uint64
+	// Trace is the Eternal-assigned trace id stamped at interception (0
+	// when untraced): every hop of the invocation — and its KReply —
+	// carries it, so each node's tracer can reconstruct the message's
+	// lifecycle timeline.
+	Trace uint64
 	// Payload is the raw IIOP message (KRequest/KReply), the encoded
 	// group spec (KCreateGroup), or the encoded state bundle (KSetState).
 	Payload []byte
@@ -119,6 +124,7 @@ func (e *Envelope) Encode() []byte {
 	enc.WriteULong(e.OpID)
 	enc.WriteBoolean(e.Oneway)
 	enc.WriteULongLong(e.XferID)
+	enc.WriteULongLong(e.Trace)
 	enc.WriteOctetSeq(e.Payload)
 	return enc.Bytes()
 }
@@ -157,6 +163,9 @@ func Decode(buf []byte) (*Envelope, error) {
 		return nil, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
 	}
 	if e.XferID, err = d.ReadULongLong(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+	}
+	if e.Trace, err = d.ReadULongLong(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
 	}
 	if e.Payload, err = d.ReadOctetSeq(); err != nil {

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"eternal/internal/obs"
 	"eternal/internal/simnet"
 )
 
@@ -161,6 +162,10 @@ type Config struct {
 	// used to discover foreign rings after a partition heals
 	// (default 8*JoinInterval).
 	AnnounceInterval time.Duration
+	// Metrics receives the processor's live metrics (packet/byte traffic,
+	// pending-queue depth, multicast→delivery latency). Nil disables
+	// export; the protocol's cumulative Stats() counters work regardless.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -283,6 +288,22 @@ type Processor struct {
 	nDeliveries atomic.Uint64
 	nViews      atomic.Uint64
 	nTombstones atomic.Uint64
+
+	// Metrics export (nil-safe via a private registry when unconfigured).
+	mPktsIn   *obs.Counter
+	mBytesIn  *obs.Counter
+	mPktsOut  *obs.Counter
+	mBytesOut *obs.Counter
+	// mPending is the sequencing queue depth: chunks enqueued locally and
+	// waiting for a token visit to be stamped and multicast.
+	mPending *obs.Gauge
+	// mLatency is the multicast→delivery latency of this processor's own
+	// messages (submit to agreed-order delivery, the full token-ring
+	// ordering cost).
+	mLatency *obs.Histogram
+	// sendTimes records the submit time of locally originated messages by
+	// msgID; owned by the run goroutine.
+	sendTimes map[uint64]time.Time
 }
 
 // Start creates a processor on the given transport and begins gathering
@@ -312,9 +333,40 @@ func Start(cfg Config) (*Processor, error) {
 		reasm:      make(map[string]*partial),
 		miss:       make(map[uint64]int),
 		joinInfo:   make(map[string]joinRecord),
+		sendTimes:  make(map[uint64]time.Time),
 	}
+	p.registerMetrics(cfg.Metrics)
 	go p.run()
 	return p, nil
+}
+
+// registerMetrics wires the processor's export surface into the registry
+// (a private one when nil, so hot paths never nil-check).
+func (p *Processor) registerMetrics(r *obs.Registry) {
+	if r == nil {
+		r = obs.NewRegistry()
+	}
+	p.mPktsIn = r.Counter("eternal_totem_packets_in_total", "transport frames received")
+	p.mBytesIn = r.Counter("eternal_totem_bytes_in_total", "transport bytes received")
+	p.mPktsOut = r.Counter("eternal_totem_packets_out_total", "transport frames sent (broadcast and unicast)")
+	p.mBytesOut = r.Counter("eternal_totem_bytes_out_total", "transport bytes sent")
+	p.mPending = r.Gauge("eternal_totem_sequencer_queue_depth", "chunks enqueued and awaiting a token visit for sequencing")
+	p.mLatency = r.Histogram("eternal_totem_mcast_delivery_seconds", "multicast submit to agreed-order delivery latency of own messages", nil)
+	for _, c := range []struct {
+		name, help string
+		v          *atomic.Uint64
+	}{
+		{"eternal_totem_multicasts_total", "application messages submitted for total ordering", &p.nMulticasts},
+		{"eternal_totem_chunks_sent_total", "MTU-sized chunks multicast while holding the token", &p.nChunks},
+		{"eternal_totem_retransmits_total", "chunks retransmitted to serve token Rtr requests", &p.nRetrans},
+		{"eternal_totem_token_rotations_total", "completed token rotations observed as aru setter", &p.nRotations},
+		{"eternal_totem_deliveries_total", "messages delivered in agreed order", &p.nDeliveries},
+		{"eternal_totem_view_changes_total", "membership views delivered", &p.nViews},
+		{"eternal_totem_tombstones_total", "unrecoverable sequence numbers skipped", &p.nTombstones},
+	} {
+		v := c.v
+		r.CounterFunc(c.name, c.help, func() float64 { return float64(v.Load()) })
+	}
 }
 
 // Addr returns the processor's transport address.
@@ -423,9 +475,13 @@ func (p *Processor) enqueue(chunks [][]byte) {
 			Payload:   c,
 		})
 	}
+	p.sendTimes[id] = time.Now()
+	p.mPending.Set(int64(len(p.pending)))
 }
 
 func (p *Processor) handlePacket(pkt Packet, now time.Time) {
+	p.mPktsIn.Inc()
+	p.mBytesIn.Add(uint64(len(pkt.Payload)))
 	msg, err := decodePacket(pkt.Payload)
 	if err != nil {
 		return // corrupt frame: drop, like a bad checksum
@@ -602,6 +658,7 @@ func (p *Processor) sendPending(tok *tokenMsg) int {
 		p.nChunks.Add(1)
 	}
 	if n > 0 {
+		p.mPending.Set(int64(len(p.pending)))
 		p.advanceAru()
 	}
 	return n
@@ -631,7 +688,7 @@ func (p *Processor) transmitToken(tok *tokenMsg, succ string, now time.Time) {
 	p.lastSentToken = tok
 	p.lastSentAt = now
 	p.tokenResends = 0
-	_ = p.tr.Send(succ, tok.encode())
+	p.send(succ, tok.encode())
 }
 
 // releaseParked resumes a paced token: any newly-enqueued chunks are sent
@@ -701,6 +758,7 @@ func (p *Processor) deliverMsg(m *dataMsg) {
 		return // tombstone for an unrecoverable message
 	}
 	if m.FragTotal == 1 {
+		p.observeOwn(m)
 		p.emit(Delivery{Seq: m.Seq, Sender: m.Sender, Payload: m.Payload})
 		return
 	}
@@ -725,6 +783,7 @@ func (p *Processor) deliverMsg(m *dataMsg) {
 	pa.next++
 	if pa.next == m.FragTotal {
 		delete(p.reasm, key)
+		p.observeOwn(m)
 		var size int
 		for _, f := range pa.frags {
 			size += len(f)
@@ -740,6 +799,18 @@ func (p *Processor) deliverMsg(m *dataMsg) {
 func (p *Processor) emit(d Delivery) {
 	p.nDeliveries.Add(1)
 	p.deliveries.In(d)
+}
+
+// observeOwn records the submit→delivery latency of a locally originated
+// message, at the delivery of its last fragment.
+func (p *Processor) observeOwn(m *dataMsg) {
+	if m.Sender != p.addr {
+		return
+	}
+	if t, ok := p.sendTimes[m.MsgID]; ok {
+		delete(p.sendTimes, m.MsgID)
+		p.mLatency.ObserveDuration(time.Since(t))
+	}
 }
 
 // --- gather phase (membership) ---
@@ -794,7 +865,7 @@ func (p *Processor) handleJoin(j *joinMsg, now time.Time) {
 			// reform; instead tell the sender which ring is current so a
 			// genuine joiner can re-join with a fresh epoch.
 			ann := announceMsg{Ring: p.ring}
-			_ = p.tr.Send(j.Sender, ann.encode())
+			p.send(j.Sender, ann.encode())
 			return
 		}
 		// Someone with current knowledge is rejoining or merging: reform.
@@ -848,6 +919,15 @@ func (p *Processor) installRing(f *formMsg, now time.Time) {
 	if reset {
 		p.store = make(map[uint64]*dataMsg)
 		p.reasm = make(map[string]*partial)
+		// Own messages already multicast under the abandoned lineage will
+		// never be delivered; keep submit times only for still-pending chunks.
+		live := make(map[uint64]time.Time, len(p.pending))
+		for _, m := range p.pending {
+			if t, ok := p.sendTimes[m.MsgID]; ok {
+				live[m.MsgID] = t
+			}
+		}
+		p.sendTimes = live
 		p.myAru = f.StartSeq
 		p.gcLow = f.StartSeq
 		p.seqHigh = f.StartSeq
@@ -949,7 +1029,7 @@ func (p *Processor) onTick(now time.Time) {
 		if p.lastSentToken != nil && now.Sub(p.lastSentAt) >= p.cfg.TokenResend && p.tokenResends < 3 {
 			p.tokenResends++
 			p.lastSentAt = now
-			_ = p.tr.Send(p.successor(), p.lastSentToken.encode())
+			p.send(p.successor(), p.lastSentToken.encode())
 		}
 		if p.ring.Rep == p.addr && now.Sub(p.lastAnnounceAt) >= p.cfg.AnnounceInterval {
 			p.lastAnnounceAt = now
@@ -960,5 +1040,13 @@ func (p *Processor) onTick(now time.Time) {
 }
 
 func (p *Processor) bcast(payload []byte) {
+	p.mPktsOut.Inc()
+	p.mBytesOut.Add(uint64(len(payload)))
 	_ = p.tr.Broadcast(payload)
+}
+
+func (p *Processor) send(to string, payload []byte) {
+	p.mPktsOut.Inc()
+	p.mBytesOut.Add(uint64(len(payload)))
+	_ = p.tr.Send(to, payload)
 }
