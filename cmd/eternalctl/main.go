@@ -1,0 +1,326 @@
+// Command eternalctl inspects a running Eternal domain through the admin
+// endpoints of its nodes (eternald -admin). It scrapes every node's
+// flight-recorder feed and merges them — by Totem sequence number — into
+// one cluster-consistent view:
+//
+//	eternalctl -nodes n1=127.0.0.1:8001,n2=127.0.0.1:8002,n3=127.0.0.1:8003 timeline
+//	eternalctl -nodes ... status
+//	eternalctl -nodes ... recovery
+//
+// timeline prints the merged event timeline, totally ordered by sequence
+// number: events every node recorded identically collapse into one line
+// listing the reporters, per-node observations stay attributed, and any
+// position where synchronized nodes disagree is flagged as DIVERGENCE
+// (the total order makes ordered events deterministic, so divergence
+// means a protocol or instrumentation bug).
+//
+// status prints each node's /cluster summary: sync state, delivery
+// position, live processors, and every group with member roles.
+//
+// recovery reconstructs each state transfer visible in the feeds: the
+// synchronization point where the recovering replica started enqueueing,
+// the donor's capture, the set_state that cured it, the invocations
+// buffered in between, and the per-phase durations — the cluster-wide
+// form of the paper's Figure 5.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"eternal/internal/obs"
+)
+
+func main() {
+	var (
+		nodesArg = flag.String("nodes", "", "comma-separated admin endpoints: name=host:port,... (required)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request HTTP timeout")
+		group    = flag.String("group", "", "restrict timeline/recovery output to this object group")
+		since    = flag.Uint64("since", 0, "fetch only events with recorder index > since")
+		pageSize = flag.Int("n", 512, "events per page when scraping /events")
+	)
+	flag.Parse()
+	if *nodesArg == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: eternalctl -nodes name=host:port,... [flags] timeline|status|recovery")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	nodes, err := parseNodes(*nodesArg)
+	if err != nil {
+		fatal(err)
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	switch cmd := flag.Arg(0); cmd {
+	case "timeline":
+		feeds, errs := scrapeFeeds(client, nodes, *since, *pageSize)
+		reportScrapeErrors(errs)
+		m := obs.MergeEvents(feeds)
+		printTimeline(os.Stdout, m, *group)
+	case "status":
+		printStatus(os.Stdout, client, nodes)
+	case "recovery":
+		feeds, errs := scrapeFeeds(client, nodes, *since, *pageSize)
+		reportScrapeErrors(errs)
+		m := obs.MergeEvents(feeds)
+		printRecoveries(os.Stdout, m, *group)
+	default:
+		fatal(fmt.Errorf("unknown command %q (want timeline, status or recovery)", cmd))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eternalctl:", err)
+	os.Exit(1)
+}
+
+// parseNodes parses "name=host:port,..." into name -> admin address.
+func parseNodes(s string) (map[string]string, error) {
+	nodes := make(map[string]string)
+	for _, kv := range strings.Split(s, ",") {
+		name, addr, ok := strings.Cut(kv, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("bad -nodes entry %q (want name=host:port)", kv)
+		}
+		nodes[name] = addr
+	}
+	return nodes, nil
+}
+
+// eventsPage mirrors the /events response body.
+type eventsPage struct {
+	Node    string      `json:"node"`
+	Dropped uint64      `json:"dropped"`
+	Events  []obs.Event `json:"events"`
+}
+
+// fetchEvents drains one node's /events feed, paginating by recorder
+// index until a short page signals the end.
+func fetchEvents(client *http.Client, addr string, since uint64, pageSize int) ([]obs.Event, error) {
+	if pageSize <= 0 {
+		pageSize = 512
+	}
+	var all []obs.Event
+	for {
+		url := fmt.Sprintf("http://%s/events?since=%d&n=%d", addr, since, pageSize)
+		resp, err := client.Get(url)
+		if err != nil {
+			return all, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return all, fmt.Errorf("GET %s: %s", url, resp.Status)
+		}
+		var page eventsPage
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if err != nil {
+			return all, fmt.Errorf("GET %s: %v", url, err)
+		}
+		all = append(all, page.Events...)
+		if len(page.Events) < pageSize {
+			return all, nil
+		}
+		since = page.Events[len(page.Events)-1].Index
+	}
+}
+
+// scrapeFeeds fetches every node's feed concurrently. Unreachable nodes
+// are reported in errs and excluded from the merge — a dead node must not
+// hide the survivors' timeline.
+func scrapeFeeds(client *http.Client, nodes map[string]string, since uint64, pageSize int) (map[string][]obs.Event, map[string]error) {
+	var mu sync.Mutex
+	feeds := make(map[string][]obs.Event)
+	errs := make(map[string]error)
+	var wg sync.WaitGroup
+	for name, addr := range nodes {
+		wg.Add(1)
+		go func(name, addr string) {
+			defer wg.Done()
+			events, err := fetchEvents(client, addr, since, pageSize)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[name] = err
+				return
+			}
+			feeds[name] = events
+		}(name, addr)
+	}
+	wg.Wait()
+	return feeds, errs
+}
+
+func reportScrapeErrors(errs map[string]error) {
+	names := make([]string, 0, len(errs))
+	for name := range errs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "eternalctl: %s unreachable: %v\n", name, errs[name])
+	}
+}
+
+// entryMatches reports whether a timeline entry concerns the group (an
+// empty filter matches everything; group-less events like views always
+// match, as they affect every group).
+func entryMatches(e *obs.TimelineEntry, group string) bool {
+	return group == "" || e.Group == "" || e.Group == group
+}
+
+func printTimeline(w *os.File, m *obs.MergedTimeline, group string) {
+	diverged := make(map[uint64]bool, len(m.Divergences))
+	for _, d := range m.Divergences {
+		diverged[d.Seq] = true
+	}
+	for _, e := range m.Entries {
+		if !entryMatches(&e, group) {
+			continue
+		}
+		scope := "local  "
+		if e.Ordered {
+			scope = "ordered"
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "seq %6d  %s  %-14s", e.Seq, scope, e.Type)
+		if e.Group != "" {
+			fmt.Fprintf(&b, " group=%s", e.Group)
+		}
+		if e.Node != "" {
+			fmt.Fprintf(&b, " node=%s", e.Node)
+		}
+		if e.XferID != 0 {
+			fmt.Fprintf(&b, " xfer=%d", e.XferID)
+		}
+		if e.Value != 0 {
+			fmt.Fprintf(&b, " value=%d", e.Value)
+		}
+		if e.Detail != "" {
+			fmt.Fprintf(&b, " %s", e.Detail)
+		}
+		fmt.Fprintf(&b, "  [%s]", strings.Join(e.Origins, ","))
+		if diverged[e.Seq] && e.Ordered {
+			fmt.Fprintf(&b, "  ** DIVERGENCE at this seq **")
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	if len(m.Divergences) == 0 {
+		fmt.Fprintln(w, "no divergence: all nodes agree on the ordered events")
+		return
+	}
+	fmt.Fprintf(w, "%d DIVERGENT position(s):\n", len(m.Divergences))
+	for _, d := range m.Divergences {
+		fmt.Fprintf(w, "  seq %d:\n", d.Seq)
+		origins := make([]string, 0, len(d.Keys))
+		for o := range d.Keys {
+			origins = append(origins, o)
+		}
+		sort.Strings(origins)
+		for _, o := range origins {
+			if len(d.Keys[o]) == 0 {
+				fmt.Fprintf(w, "    %s: (no ordered events)\n", o)
+				continue
+			}
+			fmt.Fprintf(w, "    %s: %s\n", o, strings.Join(d.Keys[o], " ; "))
+		}
+	}
+}
+
+func printRecoveries(w *os.File, m *obs.MergedTimeline, group string) {
+	reports := m.RecoveryReports()
+	printed := 0
+	for _, r := range reports {
+		if group != "" && r.Group != group {
+			continue
+		}
+		printed++
+		fmt.Fprintf(w, "recovery of %s into group %s (xfer %d)\n", r.Node, r.Group, r.XferID)
+		fmt.Fprintf(w, "  synchronization point: seq %d at %s\n", r.SyncSeq, r.SyncAt.Format(time.RFC3339Nano))
+		if r.SetStateSeq != 0 {
+			fmt.Fprintf(w, "  set_state from %s delivered at seq %d\n", r.Donor, r.SetStateSeq)
+		} else {
+			fmt.Fprintln(w, "  set_state: not observed (restart from initial state, or still in flight)")
+		}
+		if r.Enqueued >= 0 {
+			fmt.Fprintf(w, "  invocations enqueued while recovering: %d\n", r.Enqueued)
+		}
+		if r.PhaseDetail != "" {
+			fmt.Fprintf(w, "  phases: %s\n", r.PhaseDetail)
+		}
+		for _, e := range r.During {
+			fmt.Fprintf(w, "    during: seq %d %s group=%s node=%s [%s]\n",
+				e.Seq, e.Type, e.Group, e.Node, strings.Join(e.Origins, ","))
+		}
+		if !r.Complete {
+			fmt.Fprintln(w, "  status: INCOMPLETE in the scraped window")
+		}
+	}
+	if printed == 0 {
+		fmt.Fprintln(w, "no recoveries in the scraped window")
+	}
+}
+
+// clusterReport mirrors the /cluster response body.
+type clusterReport struct {
+	Node   string   `json:"node"`
+	Synced bool     `json:"synced"`
+	Live   []string `json:"live"`
+	Groups []struct {
+		Name    string `json:"name"`
+		Style   string `json:"style"`
+		Hosted  bool   `json:"hosted"`
+		Members []struct {
+			Node  string `json:"node"`
+			State string `json:"state"`
+			Role  string `json:"role"`
+		} `json:"members"`
+	} `json:"groups"`
+	Seq            uint64 `json:"seq"`
+	EventsRecorded uint64 `json:"events_recorded"`
+	EventsDropped  uint64 `json:"events_dropped"`
+}
+
+func printStatus(w *os.File, client *http.Client, nodes map[string]string) {
+	names := make([]string, 0, len(nodes))
+	for name := range nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		url := fmt.Sprintf("http://%s/cluster", nodes[name])
+		resp, err := client.Get(url)
+		if err != nil {
+			fmt.Fprintf(w, "%s: unreachable: %v\n", name, err)
+			continue
+		}
+		var rep clusterReport
+		err = json.NewDecoder(resp.Body).Decode(&rep)
+		resp.Body.Close()
+		if err != nil {
+			fmt.Fprintf(w, "%s: bad response: %v\n", name, err)
+			continue
+		}
+		fmt.Fprintf(w, "%s (%s): synced=%t seq=%d events=%d dropped=%d live=[%s]\n",
+			name, rep.Node, rep.Synced, rep.Seq, rep.EventsRecorded, rep.EventsDropped,
+			strings.Join(rep.Live, ","))
+		for _, g := range rep.Groups {
+			var members []string
+			for _, mm := range g.Members {
+				members = append(members, fmt.Sprintf("%s(%s,%s)", mm.Node, mm.State, mm.Role))
+			}
+			hosted := ""
+			if g.Hosted {
+				hosted = " [hosted here]"
+			}
+			fmt.Fprintf(w, "  group %s (%s)%s: %s\n", g.Name, g.Style, hosted, strings.Join(members, " "))
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"eternal"
+	"eternal/internal/obs"
+	"eternal/internal/orb"
+	"eternal/internal/totem"
+)
+
+// register is the demo replica the integration test replicates.
+type register struct {
+	val string
+}
+
+func (r *register) Invoke(op string, args []byte, order eternal.ByteOrder) ([]byte, error) {
+	switch op {
+	case "set":
+		d := eternal.NewDecoder(args, order)
+		s, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		r.val = s
+		return nil, nil
+	case "get":
+		e := eternal.NewEncoder(order)
+		e.WriteString(r.val)
+		return e.Bytes(), nil
+	default:
+		return nil, orb.BadOperation()
+	}
+}
+
+func (r *register) GetState() (eternal.Any, error) { return eternal.AnyFromString(r.val), nil }
+
+func (r *register) SetState(st eternal.Any) error {
+	s, ok := st.Value.(string)
+	if !ok {
+		return eternal.ErrInvalidState
+	}
+	r.val = s
+	return nil
+}
+
+func TestParseNodes(t *testing.T) {
+	nodes, err := parseNodes("n1=127.0.0.1:8001,n2=127.0.0.1:8002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 || nodes["n1"] != "127.0.0.1:8001" || nodes["n2"] != "127.0.0.1:8002" {
+		t.Fatalf("parseNodes = %v", nodes)
+	}
+	for _, bad := range []string{"n1", "=addr", "n1=", "n1=a,,"} {
+		if _, err := parseNodes(bad); err == nil {
+			t.Errorf("parseNodes(%q): want error", bad)
+		}
+	}
+}
+
+// TestClusterTimelineAfterRecovery is the end-to-end check of the
+// flight-recorder pipeline: a three-node domain runs an actively
+// replicated group, one replica is killed and recovered, and all three
+// /events feeds are scraped through eternalctl's fetch + merge logic. The
+// merged timeline must be totally ordered by sequence number, contain the
+// recovery's synchronization point (member-add) and its set_state exactly
+// once, and show zero divergence between the nodes.
+func TestClusterTimelineAfterRecovery(t *testing.T) {
+	sys, err := eternal.NewSystem(eternal.SystemConfig{
+		Nodes: []string{"n1", "n2", "n3"},
+		Totem: totem.Config{
+			TokenLossTimeout: 100 * time.Millisecond,
+			JoinInterval:     10 * time.Millisecond,
+			StableFor:        20 * time.Millisecond,
+			Tick:             time.Millisecond,
+		},
+		ManagerTick:    10 * time.Millisecond,
+		DefaultTimeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Shutdown()
+	sys.RegisterFactory("Register", func(oid string) eternal.Replica { return &register{} })
+	if err := sys.CreateGroup(eternal.GroupSpec{
+		Name: "ctr", TypeName: "Register",
+		Props: eternal.Properties{Style: eternal.Active, InitialReplicas: 3, MinReplicas: 2},
+		Nodes: []string{"n1", "n2", "n3"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Admin endpoints, exactly as eternald serves them.
+	nodes := make(map[string]string)
+	for _, name := range []string{"n1", "n2", "n3"} {
+		srv := httptest.NewServer(sys.Node(name).AdminHandler())
+		defer srv.Close()
+		nodes[name] = strings.TrimPrefix(srv.URL, "http://")
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	c, err := sys.Client("n1", "driver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	obj, err := c.Resolve("ctr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := func(s string) {
+		t.Helper()
+		e := eternal.NewEncoder(eternal.BigEndian)
+		e.WriteString(s)
+		if _, err := obj.Invoke("set", e.Bytes()); err != nil {
+			t.Fatalf("set(%q): %v", s, err)
+		}
+	}
+	set("before-kill")
+
+	// Kill the replica on n3 (two survivors satisfy MinReplicas, so the
+	// resource manager does not re-replicate on its own), then recover it:
+	// the member-add synchronization point, the donor's capture and the
+	// delivered set_state all land in the recorders.
+	if err := sys.Node("n3").KillReplica("ctr", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	set("while-down")
+	if err := sys.Node("n3").RecoverReplica("ctr", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	set("after-recovery")
+
+	// Scrape all three feeds through the CLI's pagination (page size 4
+	// forces multiple round trips). The recovering node records its events
+	// at set_state processing time; the donor and the third node record
+	// theirs at delivery — poll until every feed caught up.
+	var feeds map[string][]obs.Event
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var errs map[string]error
+		feeds, errs = scrapeFeeds(client, nodes, 0, 4)
+		if len(errs) == 0 && len(feeds) == 3 && allHaveSetState(feeds, "ctr") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("feeds never converged: errs=%v feeds=%v", errs, feedSummary(feeds))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	m := obs.MergeEvents(feeds)
+	if len(m.Divergences) != 0 {
+		t.Fatalf("divergences in a healthy cluster: %+v", m.Divergences)
+	}
+	for i := 1; i < len(m.Entries); i++ {
+		if m.Entries[i].Seq < m.Entries[i-1].Seq {
+			t.Fatalf("timeline not ordered by seq: entry %d (seq %d) after entry %d (seq %d)",
+				i, m.Entries[i].Seq, i-1, m.Entries[i-1].Seq)
+		}
+	}
+
+	// The recovery's synchronization point and its set_state: exactly once
+	// each, agreed on by all three nodes.
+	var adds, sets []obs.TimelineEntry
+	for _, e := range m.Entries {
+		switch {
+		case e.Type == obs.EventMemberAdd && e.Group == "ctr":
+			adds = append(adds, e)
+		case e.Type == obs.EventSetState && e.Group == "ctr":
+			sets = append(sets, e)
+		}
+	}
+	if len(adds) != 1 || adds[0].Node != "n3" {
+		t.Fatalf("want exactly one member-add for n3, got %+v", adds)
+	}
+	if len(sets) != 1 || sets[0].XferID != adds[0].XferID {
+		t.Fatalf("want exactly one set_state with xfer %d, got %+v", adds[0].XferID, sets)
+	}
+	if sets[0].Seq <= adds[0].Seq {
+		t.Fatalf("set_state (seq %d) not after synchronization point (seq %d)",
+			sets[0].Seq, adds[0].Seq)
+	}
+	for _, e := range []obs.TimelineEntry{adds[0], sets[0]} {
+		if len(e.Origins) != 3 {
+			t.Fatalf("%s at seq %d reported by %v, want all three nodes", e.Type, e.Seq, e.Origins)
+		}
+	}
+
+	reports := m.RecoveryReports()
+	if len(reports) != 1 {
+		t.Fatalf("want one recovery report, got %+v", reports)
+	}
+	r := reports[0]
+	if !r.Complete || r.Group != "ctr" || r.Node != "n3" ||
+		r.SyncSeq != adds[0].Seq || r.SetStateSeq != sets[0].Seq {
+		t.Fatalf("bad recovery report: %+v", r)
+	}
+	if r.Enqueued < 0 {
+		t.Fatalf("recovering node's enqueue count missing from report: %+v", r)
+	}
+}
+
+func allHaveSetState(feeds map[string][]obs.Event, group string) bool {
+	for _, events := range feeds {
+		found := false
+		for _, ev := range events {
+			if ev.Type == obs.EventSetState && ev.Group == group {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func feedSummary(feeds map[string][]obs.Event) map[string]int {
+	out := make(map[string]int)
+	for name, events := range feeds {
+		out[name] = len(events)
+	}
+	return out
+}

@@ -14,11 +14,16 @@
 // Every node registers the demo "Register" replica type.
 //
 // Add -admin host:port to serve the observability endpoints: /metrics
-// (Prometheus text), /healthz (membership and roles), /trace (recent
-// message-lifecycle traces) and /debug/pprof/.
+// (Prometheus text), /healthz (membership and roles; 503 until
+// synchronized), /trace (recent message-lifecycle traces), /events (the
+// flight-recorder feed eternalctl merges into a cluster timeline),
+// /cluster (this node's view of every group plus its delivery position)
+// and /debug/pprof/. The admin server shuts down gracefully on SIGINT or
+// SIGTERM.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -119,10 +124,12 @@ func main() {
 	defer node.Stop()
 	node.RegisterFactory("Register", func(oid string) eternal.Replica { return &registerReplica{} })
 
+	var adminSrv *http.Server
 	if *admin != "" {
+		adminSrv = &http.Server{Addr: *admin, Handler: node.AdminHandler()}
 		go func() {
-			log.Printf("admin endpoint on http://%s/ (metrics, healthz, trace, debug/pprof)", *admin)
-			if err := http.ListenAndServe(*admin, node.AdminHandler()); err != nil {
+			log.Printf("admin endpoint on http://%s/ (metrics, healthz, trace, events, cluster, debug/pprof)", *admin)
+			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("admin endpoint: %v", err)
 			}
 		}()
@@ -161,6 +168,15 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("%s shutting down", *name)
+	if adminSrv != nil {
+		// Let in-flight scrapes finish; a wedged connection must not hold
+		// the daemon past the deadline.
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		if err := adminSrv.Shutdown(ctx); err != nil {
+			log.Printf("admin endpoint shutdown: %v", err)
+		}
+	}
 }
 
 func driveClient(node *eternal.Node, group string) {

@@ -118,6 +118,9 @@ type (
 	// RecoveryTimeline is one recovery's per-phase decomposition (capture,
 	// transfer, apply, replay) — the live form of the paper's Figure 6.
 	RecoveryTimeline = obs.RecoveryTimeline
+	// Event is one flight-recorder entry: a membership, recovery or fault
+	// event stamped with its Totem sequence number (Node.Events, /events).
+	Event = obs.Event
 )
 
 // ParseLogLevel parses "debug", "info", "warn" or "error" into a

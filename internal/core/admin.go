@@ -6,6 +6,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 
+	"eternal/internal/obs"
 	"eternal/internal/replication"
 )
 
@@ -13,7 +14,12 @@ import (
 //
 //	/metrics  — Prometheus text exposition of the node's registry
 //	/healthz  — JSON: sync status, live processors, groups and roles
+//	          (503 while the node has not yet synchronized)
 //	/trace    — JSON: the last n message-lifecycle traces (?n=K, default 20)
+//	/events   — JSON: flight-recorder events (?since=<index>&n=K), paginated
+//	          by recorder index for eternalctl's cluster-timeline merge
+//	/cluster  — JSON: this node's full view of the cluster — the /healthz
+//	          report plus its delivery position and recorder totals
 //	/debug/pprof/ — the standard Go profiling endpoints
 //
 // eternald serves it when started with -admin; tests drive it through
@@ -23,6 +29,8 @@ func (n *Node) AdminHandler() http.Handler {
 	mux.HandleFunc("/metrics", n.serveMetrics)
 	mux.HandleFunc("/healthz", n.serveHealthz)
 	mux.HandleFunc("/trace", n.serveTrace)
+	mux.HandleFunc("/events", n.serveEvents)
+	mux.HandleFunc("/cluster", n.serveCluster)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -59,6 +67,16 @@ type healthReport struct {
 	Groups []healthGroup `json:"groups"`
 }
 
+// clusterReport is the /cluster body: the health report plus the node's
+// position in the total order and its flight-recorder totals, so a
+// scraper can tell how far each node's view has advanced.
+type clusterReport struct {
+	healthReport
+	Seq            uint64 `json:"seq"`
+	EventsRecorded uint64 `json:"events_recorded"`
+	EventsDropped  uint64 `json:"events_dropped"`
+}
+
 func memberStateName(s replication.MemberState) string {
 	switch s {
 	case replication.MemberOperational:
@@ -70,46 +88,79 @@ func memberStateName(s replication.MemberState) string {
 	}
 }
 
-func (n *Node) serveHealthz(w http.ResponseWriter, _ *http.Request) {
-	done := make(chan healthReport, 1)
+// onLoop runs f on the node's delivery goroutine and waits for it, so f
+// can read loop-confined state. It reports false when the node stopped
+// before f could run.
+func (n *Node) onLoop(f func()) bool {
+	done := make(chan struct{})
 	select {
-	case n.calls <- func() {
-		rep := healthReport{Node: n.addr, Synced: n.synced, Live: append([]string(nil), n.live...)}
-		for _, name := range n.table.Names() {
-			g, ok := n.table.Get(name)
-			if !ok {
-				continue
-			}
-			hg := healthGroup{
-				Name:   name,
-				Style:  g.Spec.Props.Style.String(),
-				Hosted: n.hosts[name] != nil,
-			}
-			primary, hasPrimary := g.Primary()
-			for _, m := range g.Members {
-				role := "member"
-				if hasPrimary && m.Node == primary {
-					role = "primary"
-				}
-				hg.Members = append(hg.Members, healthMember{
-					Node: m.Node, State: memberStateName(m.State), Role: role,
-				})
-			}
-			rep.Groups = append(rep.Groups, hg)
-		}
-		done <- rep
-	}:
+	case n.calls <- func() { f(); close(done) }:
 	case <-n.stopCh:
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	case <-n.stopCh:
+		return false
+	}
+}
+
+// buildHealthReport assembles the health report; it must run on the
+// delivery goroutine (via onLoop).
+func (n *Node) buildHealthReport() healthReport {
+	rep := healthReport{Node: n.addr, Synced: n.synced, Live: append([]string(nil), n.live...)}
+	for _, name := range n.table.Names() {
+		g, ok := n.table.Get(name)
+		if !ok {
+			continue
+		}
+		hg := healthGroup{
+			Name:   name,
+			Style:  g.Spec.Props.Style.String(),
+			Hosted: n.hosts[name] != nil,
+		}
+		primary, hasPrimary := g.Primary()
+		for _, m := range g.Members {
+			role := "member"
+			if hasPrimary && m.Node == primary {
+				role = "primary"
+			}
+			hg.Members = append(hg.Members, healthMember{
+				Node: m.Node, State: memberStateName(m.State), Role: role,
+			})
+		}
+		rep.Groups = append(rep.Groups, hg)
+	}
+	return rep
+}
+
+func (n *Node) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	var rep healthReport
+	if !n.onLoop(func() { rep = n.buildHealthReport() }) {
 		http.Error(w, "node stopped", http.StatusServiceUnavailable)
 		return
 	}
-	select {
-	case rep := <-done:
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(rep)
-	case <-n.stopCh:
-		http.Error(w, "node stopped", http.StatusServiceUnavailable)
+	w.Header().Set("Content-Type", "application/json")
+	if !rep.Synced {
+		// Not yet synchronized: not ready to serve, but the body still
+		// carries the full report for diagnosis.
+		w.WriteHeader(http.StatusServiceUnavailable)
 	}
+	json.NewEncoder(w).Encode(rep)
+}
+
+func (n *Node) serveCluster(w http.ResponseWriter, _ *http.Request) {
+	var rep clusterReport
+	if !n.onLoop(func() { rep.healthReport = n.buildHealthReport() }) {
+		http.Error(w, "node stopped", http.StatusServiceUnavailable)
+		return
+	}
+	rep.Seq = n.lastSeq.Load()
+	rep.EventsRecorded = n.recorder.Total()
+	rep.EventsDropped = n.recorder.Dropped()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rep)
 }
 
 func (n *Node) serveTrace(w http.ResponseWriter, r *http.Request) {
@@ -124,4 +175,43 @@ func (n *Node) serveTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(n.tracer.Last(count))
+}
+
+// eventsPage is the /events body: one page of the node's flight-recorder
+// feed. Clients resume with ?since=<index of the last event received>.
+type eventsPage struct {
+	Node    string      `json:"node"`
+	Dropped uint64      `json:"dropped"`
+	Events  []obs.Event `json:"events"`
+}
+
+func (n *Node) serveEvents(w http.ResponseWriter, r *http.Request) {
+	var since uint64
+	if s := r.URL.Query().Get("since"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since", http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	count := 256
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		count = v
+	}
+	page := eventsPage{
+		Node:    n.addr,
+		Dropped: n.recorder.Dropped(),
+		Events:  n.recorder.Since(since, count),
+	}
+	if page.Events == nil {
+		page.Events = []obs.Event{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(page)
 }

@@ -150,6 +150,7 @@ func newReplicaHost(n *Node, group string, style ftcorba.ReplicationStyle, withI
 		log:        recovery.NewLog(),
 		ckptMarks:  make(map[uint64]int),
 	}
+	h.log.Instrument(n.recorder, group)
 	if recovering {
 		h.recoverStart = time.Now()
 	}
@@ -402,6 +403,11 @@ func (h *replicaHost) capture(xferID uint64, checkpoint bool) {
 	}
 	bundle.Infra.RequestFilter = replication.EncodeFilterState(h.reqFilter.Snapshot())
 	h.node.counters.stateCaptures.Add(1)
+	h.node.recorder.Record(obs.Event{
+		Type: obs.EventGetState, Group: h.group, Node: h.node.addr,
+		XferID: xferID, Value: int64(len(bundle.AppState)),
+		Detail: fmt.Sprintf("checkpoint=%t", checkpoint),
+	})
 	h.node.logger().Info("state captured", "group", h.group, "xfer", xferID,
 		"appStateBytes", len(bundle.AppState), "serverConns", len(bundle.ORB.ServerConns),
 		"captureDuration", captureDur, "checkpoint", checkpoint)
@@ -580,7 +586,12 @@ func (h *replicaHost) promote() {
 		h.executeRequest(env, true)
 	}
 	h.log = recovery.NewLog()
+	h.log.Instrument(h.node.recorder, h.group)
 	h.node.counters.promotions.Add(1)
+	h.node.recorder.Record(obs.Event{
+		Type: obs.EventPromoted, Group: h.group, Node: h.node.addr,
+		Value: int64(replayed),
+	})
 	h.node.logger().Info("promoted to primary", "group", h.group, "replayed", replayed)
 	h.node.signal(promotedKey(h.group, h.node.addr))
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"slices"
+	"strings"
 	"time"
 
 	"eternal/internal/faultdetect"
@@ -59,6 +61,7 @@ func (n *Node) shutdownHosts() {
 }
 
 func (n *Node) handleDelivery(d totem.Delivery) {
+	n.lastSeq.Store(d.Seq)
 	if !n.synced {
 		n.handleUnsynced(d)
 		return
@@ -71,7 +74,7 @@ func (n *Node) handleDelivery(d totem.Delivery) {
 	if err != nil {
 		return
 	}
-	n.handleEnvelope(env)
+	n.handleEnvelope(d.Seq, env)
 }
 
 // --- metadata synchronization for joining nodes ---
@@ -131,6 +134,10 @@ func (n *Node) becomeSynced(table *replication.Table, buffered []totem.Delivery)
 	n.synced = true
 	n.syncWaiting = false
 	n.syncBuf = nil
+	n.recorder.Record(obs.Event{
+		Type:   obs.EventSynced,
+		Detail: fmt.Sprintf("groups=%d buffered=%d", len(table.Names()), len(buffered)),
+	})
 
 	// If the received table still lists this (freshly restarted) node as a
 	// member, those replicas died with the previous incarnation: remove
@@ -161,10 +168,23 @@ func (n *Node) AwaitSynced(timeout time.Duration) error {
 // --- view changes ---
 
 func (n *Node) handleView(v *totem.Membership) {
+	// The view's stream position (StartSeq) is agreed across the lineage,
+	// and so is its content — but not the Reset flag, which is this
+	// processor's own relationship to the lineage; it is recorded as a
+	// separate local event so cross-node merges see identical view events.
+	n.recorder.Record(obs.Event{
+		Type: obs.EventView, Seq: v.StartSeq, Ordered: true,
+		Detail: fmt.Sprintf("epoch=%d rep=%s members=%s",
+			v.Epoch, v.Rep, strings.Join(v.Members, ",")),
+	})
 	if v.Reset {
 		// We are on the losing side of a partition merge: our replicas
 		// diverged and our metadata is stale. Re-synchronize from scratch
 		// and shed our (now worthless) replicas.
+		n.recorder.Record(obs.Event{
+			Type: obs.EventViewReset, Seq: v.StartSeq,
+			Detail: fmt.Sprintf("epoch=%d shedding=%d", v.Epoch, len(n.hosts)),
+		})
 		for name, h := range n.hosts {
 			h.stop()
 			delete(n.hosts, name)
@@ -186,6 +206,12 @@ func (n *Node) handleView(v *totem.Membership) {
 	n.live = slices.Clone(v.Members)
 	for _, node := range dead {
 		n.logger().Info("processor failed", "node", node)
+		// Local, not ordered: which peers count as newly dead depends on
+		// the previous membership this node happens to have seen.
+		n.recorder.Record(obs.Event{
+			Type: obs.EventProcessorFail, Seq: v.StartSeq, Node: node,
+			Detail: fmt.Sprintf("epoch=%d", v.Epoch),
+		})
 		for _, name := range n.table.NodeFailed(node) {
 			n.resetSignal(recoveredKey(name, node))
 			n.resetSignal(promotedKey(name, node))
@@ -226,7 +252,11 @@ func (n *Node) reconcile(name string) {
 
 // --- envelope handling (the replicated state machine) ---
 
-func (n *Node) handleEnvelope(env *replication.Envelope) {
+// handleEnvelope applies one delivered envelope at its agreed position
+// seq in the total order. Membership, recovery and checkpoint envelopes
+// leave seq-stamped ordered events in the flight recorder; the request
+// and reply hot paths record nothing.
+func (n *Node) handleEnvelope(seq uint64, env *replication.Envelope) {
 	switch env.Kind {
 	case replication.KRequest:
 		n.handleRequest(env)
@@ -235,15 +265,15 @@ func (n *Node) handleEnvelope(env *replication.Envelope) {
 			ce.deliverReply(env)
 		}
 	case replication.KCreateGroup:
-		n.handleCreate(env)
+		n.handleCreate(seq, env)
 	case replication.KRemoveMember:
-		n.handleRemove(env)
+		n.handleRemove(seq, env)
 	case replication.KAddMember:
-		n.handleAdd(env)
+		n.handleAdd(seq, env)
 	case replication.KSetState:
-		n.handleSetState(env)
+		n.handleSetState(seq, env)
 	case replication.KCheckpoint:
-		n.handleCheckpoint(env)
+		n.handleCheckpoint(seq, env)
 	case replication.KSyncRequest:
 		if env.Node != n.addr {
 			// Snapshot at this position; every synced node answers (the
@@ -277,7 +307,7 @@ func (n *Node) handleRequest(env *replication.Envelope) {
 	h.q.push(dispatchItem{kind: itemRequest, env: env, execute: execute})
 }
 
-func (n *Node) handleCreate(env *replication.Envelope) {
+func (n *Node) handleCreate(seq uint64, env *replication.Envelope) {
 	spec, err := replication.DecodeSpec(env.Payload)
 	if err != nil {
 		return
@@ -288,6 +318,11 @@ func (n *Node) handleCreate(env *replication.Envelope) {
 		n.signal("create:" + spec.Name)
 		return
 	}
+	n.recorder.Record(obs.Event{
+		Type: obs.EventGroupCreate, Seq: seq, Ordered: true, Group: spec.Name,
+		Detail: fmt.Sprintf("style=%s nodes=%s",
+			spec.Props.Style.String(), strings.Join(spec.Nodes, ",")),
+	})
 	n.groupsMu.Lock()
 	n.groupSet[spec.Name] = &g.Spec
 	n.groupsMu.Unlock()
@@ -313,10 +348,16 @@ func (n *Node) handleCreate(env *replication.Envelope) {
 	n.signal("create:" + spec.Name)
 }
 
-func (n *Node) handleRemove(env *replication.Envelope) {
+func (n *Node) handleRemove(seq uint64, env *replication.Envelope) {
 	removed, err := n.table.RemoveMember(env.Group, env.Node)
 	if err != nil {
 		return
+	}
+	if removed {
+		n.recorder.Record(obs.Event{
+			Type: obs.EventMemberRemove, Seq: seq, Ordered: true,
+			Group: env.Group, Node: env.Node,
+		})
 	}
 	if removed && env.Node == n.addr {
 		if h := n.hosts[env.Group]; h != nil {
@@ -334,7 +375,7 @@ func (n *Node) handleRemove(env *replication.Envelope) {
 	n.signal(removedKey(env.Group, env.Node))
 }
 
-func (n *Node) handleAdd(env *replication.Envelope) {
+func (n *Node) handleAdd(seq uint64, env *replication.Envelope) {
 	delete(n.pendingAdd, env.Group)
 	g, err := n.table.AddRecovering(env.Group, env.Node)
 	if err != nil {
@@ -342,6 +383,13 @@ func (n *Node) handleAdd(env *replication.Envelope) {
 	}
 	n.resetSignal(removedKey(env.Group, env.Node))
 	_, hasDonorNow := g.Primary()
+	// This position is the recovery's synchronization point (Figure 5
+	// step i): every node records it identically.
+	n.recorder.Record(obs.Event{
+		Type: obs.EventMemberAdd, Seq: seq, Ordered: true,
+		Group: env.Group, Node: env.Node, XferID: env.XferID,
+		Detail: fmt.Sprintf("donor=%t", hasDonorNow),
+	})
 	if env.Node == n.addr {
 		// Figure 5 step (i): this position is the synchronization point;
 		// the new replica enqueues everything from here on — unless no
@@ -386,7 +434,7 @@ func (n *Node) handleAdd(env *replication.Envelope) {
 	}
 }
 
-func (n *Node) handleSetState(env *replication.Envelope) {
+func (n *Node) handleSetState(seq uint64, env *replication.Envelope) {
 	g, ok := n.table.Get(env.Group)
 	if !ok {
 		return
@@ -395,6 +443,13 @@ func (n *Node) handleSetState(env *replication.Envelope) {
 	if err != nil {
 		return
 	}
+	// The delivered set_state is the point in the total order at which
+	// every recovering member is cured (Figure 5 step v).
+	n.recorder.Record(obs.Event{
+		Type: obs.EventSetState, Seq: seq, Ordered: true,
+		Group: env.Group, Node: env.Node, XferID: env.XferID,
+		Value: int64(len(bundle.AppState)),
+	})
 	// Every recovering member is cured by this state (they all held their
 	// queues from their own synchronization points; duplicate suppression
 	// makes the replayed overlap idempotent).
@@ -432,11 +487,17 @@ func (n *Node) handleSetState(env *replication.Envelope) {
 	}
 }
 
-func (n *Node) handleCheckpoint(env *replication.Envelope) {
+func (n *Node) handleCheckpoint(seq uint64, env *replication.Envelope) {
 	g, ok := n.table.Get(env.Group)
 	if !ok || g.Spec.Props.Style == ftcorba.Active {
 		return
 	}
+	// Recorded before any host-local checks: the marker's position is
+	// agreed; whether this node hosts a replica is not.
+	n.recorder.Record(obs.Event{
+		Type: obs.EventCheckpoint, Seq: seq, Ordered: true,
+		Group: env.Group, XferID: env.XferID,
+	})
 	h := n.hosts[env.Group]
 	if h == nil || h.recovering {
 		return

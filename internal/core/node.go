@@ -66,6 +66,10 @@ type Config struct {
 	// TraceCapacity bounds the message-lifecycle tracer's ring buffer
 	// (default obs.DefaultTraceCapacity).
 	TraceCapacity int
+	// EventCapacity bounds the flight recorder's ring buffer (default
+	// obs.DefaultEventCapacity). Oldest events are dropped beyond it; the
+	// drop count is exported as eternal_events_dropped_total.
+	EventCapacity int
 }
 
 // Node is one Eternal processor.
@@ -117,11 +121,16 @@ type Node struct {
 	counters nodeCounters
 
 	// Observability: the metrics registry, the message-lifecycle tracer,
-	// and the recovery timeline log (paper Figure 6, live).
+	// the recovery timeline log (paper Figure 6, live), and the flight
+	// recorder (sequence-stamped membership/recovery/fault events).
 	metrics      *obs.Registry
 	tracer       *obs.Tracer
 	timelines    *obs.TimelineLog
+	recorder     *obs.Recorder
 	traceCounter atomic.Uint64
+	// lastSeq is the sequence number of the most recent totem delivery,
+	// the anchor stamped onto local flight-recorder events.
+	lastSeq atomic.Uint64
 
 	// Latency instruments, registered once at Start.
 	invocationHist   *obs.Histogram
@@ -155,9 +164,11 @@ func Start(cfg Config) (*Node, error) {
 	if metrics == nil {
 		metrics = obs.NewRegistry()
 	}
+	recorder := obs.NewRecorder(cfg.EventCapacity, cfg.Transport.Addr())
 	tc := cfg.Totem
 	tc.Transport = cfg.Transport
 	tc.Metrics = metrics
+	tc.Recorder = recorder
 	proc, err := totem.Start(tc)
 	if err != nil {
 		return nil, err
@@ -166,6 +177,7 @@ func Start(cfg Config) (*Node, error) {
 		addr:       cfg.Transport.Addr(),
 		cfg:        cfg,
 		proc:       proc,
+		recorder:   recorder,
 		factories:  make(map[string]ftcorba.Factory),
 		table:      replication.NewTable(),
 		hosts:      make(map[string]*replicaHost),
@@ -184,8 +196,16 @@ func Start(cfg Config) (*Node, error) {
 		stopCh:     make(chan struct{}),
 		loopDone:   make(chan struct{}),
 	}
+	recorder.SetSeqSource(n.lastSeq.Load)
+	n.faults.AttachRecorder(recorder)
 	n.counters = newNodeCounters(metrics)
 	registerProcessMetrics(metrics)
+	metrics.CounterFunc("eternal_events_recorded_total",
+		"flight-recorder events recorded",
+		func() float64 { return float64(recorder.Total()) })
+	metrics.CounterFunc("eternal_events_dropped_total",
+		"flight-recorder events evicted to bound the ring",
+		func() float64 { return float64(recorder.Dropped()) })
 	n.invocationHist = metrics.Histogram("eternal_invocation_seconds",
 		"end-to-end invocation latency: interception to reply delivery", nil)
 	n.recoveryCapture = metrics.Histogram("eternal_recovery_capture_seconds",
@@ -349,6 +369,12 @@ func (n *Node) recordRecovery(group string, xferID uint64, start time.Time, capt
 	n.recoveryApply.ObserveDuration(apply)
 	n.recoveryReplay.ObserveDuration(replay)
 	n.recoveryTotal.ObserveDuration(end.Sub(start))
+	n.recorder.Record(obs.Event{
+		Type: obs.EventRecovered, Group: group, Node: n.addr, XferID: xferID,
+		Value: int64(enqueued),
+		Detail: fmt.Sprintf("capture=%s transfer=%s apply=%s replay=%s total=%s",
+			capture, transfer, apply, replay, end.Sub(start)),
+	})
 	n.logger().Info("replica recovered", "group", group, "xfer", xferID,
 		"capture", capture, "transfer", transfer, "apply", apply,
 		"replay", replay, "enqueued", enqueued, "total", end.Sub(start))

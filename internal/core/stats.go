@@ -95,6 +95,19 @@ func (n *Node) RecoveryTimelines() []obs.RecoveryTimeline {
 	return n.timelines.Last(0)
 }
 
+// Events returns up to max flight-recorder events with Index > since,
+// oldest first (max <= 0 returns all retained). Clients paginate by
+// passing the last Index they have seen; /events serves the same data
+// over HTTP.
+func (n *Node) Events(since uint64, max int) []obs.Event {
+	return n.recorder.Since(since, max)
+}
+
+// Recorder returns the node's flight recorder: the bounded ring of
+// sequence-stamped membership, recovery and fault events that
+// eternalctl merges into a cluster timeline.
+func (n *Node) Recorder() *obs.Recorder { return n.recorder }
+
 // logger returns the node's structured logger (a discarding logger when
 // none was configured).
 func (n *Node) logger() *slog.Logger {

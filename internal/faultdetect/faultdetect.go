@@ -20,6 +20,8 @@ package faultdetect
 import (
 	"sync"
 	"time"
+
+	"eternal/internal/obs"
 )
 
 // Fault is one detected fault event.
@@ -39,6 +41,16 @@ type Fault struct {
 type Notifier struct {
 	mu   sync.Mutex
 	subs []chan Fault
+	rec  *obs.Recorder
+}
+
+// AttachRecorder routes every published fault into the flight recorder as
+// a suspicion event (a local event: suspicions are one detector's view,
+// not an agreed position in the total order).
+func (n *Notifier) AttachRecorder(rec *obs.Recorder) {
+	n.mu.Lock()
+	n.rec = rec
+	n.mu.Unlock()
 }
 
 // NewNotifier creates an empty notifier.
@@ -61,7 +73,12 @@ func (n *Notifier) Publish(f Fault) {
 	n.mu.Lock()
 	subs := make([]chan Fault, len(n.subs))
 	copy(subs, n.subs)
+	rec := n.rec
 	n.mu.Unlock()
+	rec.Record(obs.Event{
+		Type: obs.EventSuspicion, At: f.Detected,
+		Group: f.Group, Node: f.Node, Detail: f.Reason,
+	})
 	for _, ch := range subs {
 		select {
 		case ch <- f:

@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TimelineEntry is one step of a merged cluster timeline. Ordered events
+// that several nodes recorded identically collapse into a single entry
+// listing the reporting nodes; local events stay one entry per observer.
+type TimelineEntry struct {
+	Seq     uint64    `json:"seq"`
+	At      time.Time `json:"at"` // earliest observation across origins
+	Type    string    `json:"type"`
+	Group   string    `json:"group,omitempty"`
+	Node    string    `json:"node,omitempty"`
+	XferID  uint64    `json:"xfer_id,omitempty"`
+	Value   int64     `json:"value,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+	Ordered bool      `json:"ordered"`
+	// Origins are the nodes that reported this entry, sorted.
+	Origins []string `json:"origins"`
+}
+
+// Key identifies the entry's content independent of who observed it.
+func (e *TimelineEntry) Key() string {
+	return eventKey(e.Type, e.Group, e.Node, e.XferID, e.Detail)
+}
+
+func eventKey(typ, group, node string, xfer uint64, detail string) string {
+	return fmt.Sprintf("%s|%s|%s|%d|%s", typ, group, node, xfer, detail)
+}
+
+// Divergence reports a sequence number at which nodes disagree about the
+// ordered events — the condition the paper's total-order alignment rules
+// out, so any occurrence indicates a protocol or instrumentation bug.
+type Divergence struct {
+	Seq uint64 `json:"seq"`
+	// Keys maps each covering origin to the sorted ordered-event keys it
+	// recorded at Seq (an empty list means it recorded none despite
+	// covering the position).
+	Keys map[string][]string `json:"keys"`
+}
+
+// MergedTimeline is the cluster-consistent view assembled from per-node
+// flight-recorder feeds.
+type MergedTimeline struct {
+	Entries     []TimelineEntry `json:"entries"`
+	Divergences []Divergence    `json:"divergences"`
+}
+
+// coverage is the ordered-event sequence range a feed vouches for. The
+// ring drops oldest events and scrapes race ongoing recording, so a feed
+// is only authoritative between its first and last ordered event.
+type coverage struct{ lo, hi uint64 }
+
+// MergeEvents merges per-node event feeds (node name -> events, any
+// order) into one timeline totally ordered by sequence number, collapsing
+// ordered events that nodes recorded identically and flagging sequence
+// numbers where covering nodes recorded different ordered events.
+func MergeEvents(feeds map[string][]Event) *MergedTimeline {
+	type orderedAgg struct {
+		entry   TimelineEntry
+		origins map[string]bool
+	}
+	orderedBy := make(map[string]*orderedAgg) // seq|key -> agg
+	var locals []TimelineEntry
+	cover := make(map[string]coverage)
+	// perSeq collects, per origin, the ordered keys at each seq.
+	perSeq := make(map[uint64]map[string][]string)
+
+	for origin, events := range feeds {
+		for _, ev := range events {
+			if !ev.Ordered {
+				locals = append(locals, TimelineEntry{
+					Seq: ev.Seq, At: ev.At, Type: ev.Type, Group: ev.Group,
+					Node: ev.Node, XferID: ev.XferID, Value: ev.Value,
+					Detail: ev.Detail, Origins: []string{origin},
+				})
+				continue
+			}
+			c, seen := cover[origin]
+			if !seen {
+				c = coverage{lo: ev.Seq, hi: ev.Seq}
+			} else {
+				c.lo = min(c.lo, ev.Seq)
+				c.hi = max(c.hi, ev.Seq)
+			}
+			cover[origin] = c
+			key := eventKey(ev.Type, ev.Group, ev.Node, ev.XferID, ev.Detail)
+			id := fmt.Sprintf("%d|%s", ev.Seq, key)
+			agg, ok := orderedBy[id]
+			if !ok {
+				agg = &orderedAgg{
+					entry: TimelineEntry{
+						Seq: ev.Seq, At: ev.At, Type: ev.Type, Group: ev.Group,
+						Node: ev.Node, XferID: ev.XferID, Value: ev.Value,
+						Detail: ev.Detail, Ordered: true,
+					},
+					origins: make(map[string]bool),
+				}
+				orderedBy[id] = agg
+			}
+			if ev.At.Before(agg.entry.At) {
+				agg.entry.At = ev.At
+			}
+			agg.origins[origin] = true
+			if perSeq[ev.Seq] == nil {
+				perSeq[ev.Seq] = make(map[string][]string)
+			}
+			perSeq[ev.Seq][origin] = append(perSeq[ev.Seq][origin], key)
+		}
+	}
+
+	m := &MergedTimeline{}
+	for _, agg := range orderedBy {
+		e := agg.entry
+		for o := range agg.origins {
+			e.Origins = append(e.Origins, o)
+		}
+		sort.Strings(e.Origins)
+		m.Entries = append(m.Entries, e)
+	}
+	m.Entries = append(m.Entries, locals...)
+	sort.Slice(m.Entries, func(i, j int) bool {
+		a, b := &m.Entries[i], &m.Entries[j]
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		if a.Ordered != b.Ordered {
+			return a.Ordered // agreed positions before local anchors
+		}
+		if !a.At.Equal(b.At) {
+			return a.At.Before(b.At)
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		return strings.Join(a.Origins, ",") < strings.Join(b.Origins, ",")
+	})
+
+	// Divergence: at each seq carrying ordered events, every participating
+	// origin must have recorded the same key multiset. An origin with
+	// events at the seq always participates; an origin with none
+	// participates only when the seq is strictly inside its coverage —
+	// at the boundaries a feed may legitimately hold just part of a
+	// position's events (a view change shares its StartSeq with the old
+	// ring's last message, and a freshly synchronized node's first
+	// recorded event can land mid-position).
+	for seq, byOrigin := range perSeq {
+		keysOf := make(map[string][]string)
+		var covering []string
+		for origin, c := range cover {
+			ks := byOrigin[origin]
+			if len(ks) == 0 && (seq <= c.lo || seq >= c.hi) {
+				continue
+			}
+			covering = append(covering, origin)
+			ks = append([]string(nil), ks...)
+			sort.Strings(ks)
+			keysOf[origin] = ks
+		}
+		if len(covering) < 2 {
+			continue
+		}
+		sort.Strings(covering)
+		ref := strings.Join(keysOf[covering[0]], "\x00")
+		for _, origin := range covering[1:] {
+			if strings.Join(keysOf[origin], "\x00") != ref {
+				m.Divergences = append(m.Divergences, Divergence{Seq: seq, Keys: keysOf})
+				break
+			}
+		}
+	}
+	sort.Slice(m.Divergences, func(i, j int) bool {
+		return m.Divergences[i].Seq < m.Divergences[j].Seq
+	})
+	return m
+}
+
+// RecoveryReport reconstructs one state transfer from a merged timeline:
+// the synchronization point (the KAddMember position where the recovering
+// replica started enqueueing), the donor's capture, the set_state
+// position that cured it, and what happened in between — the cluster-wide
+// form of the paper's Figure 5.
+type RecoveryReport struct {
+	Group  string `json:"group"`
+	Node   string `json:"node"` // the recovering member
+	XferID uint64 `json:"xfer_id"`
+	// SyncSeq/SyncAt locate the synchronization point.
+	SyncSeq uint64    `json:"sync_seq"`
+	SyncAt  time.Time `json:"sync_at"`
+	// SetStateSeq locates the delivered set_state (0 if none was seen:
+	// either a total-group-loss restart from initial state, or the
+	// recovery was still in flight when the feeds were scraped).
+	SetStateSeq uint64 `json:"set_state_seq,omitempty"`
+	Donor       string `json:"donor,omitempty"`
+	// Enqueued is the recovering node's count of invocations buffered
+	// between the synchronization point and reinstatement (-1 when its
+	// local "recovered" event was not in the feeds).
+	Enqueued int64 `json:"enqueued"`
+	// PhaseDetail is the recovering node's phase-duration summary.
+	PhaseDetail string `json:"phase_detail,omitempty"`
+	// During are the timeline entries between SyncSeq and SetStateSeq
+	// (exclusive) — the events interleaved with the enqueue window.
+	During []TimelineEntry `json:"during,omitempty"`
+	// Complete reports that both the synchronization point and the cure
+	// (set_state, or the recovering node's reinstatement) were observed.
+	Complete bool `json:"complete"`
+}
+
+// RecoveryReports extracts every recovery visible in the timeline, in
+// synchronization-point order. A member-add opens a report; the set-state
+// sharing its transfer id (and group) closes it.
+func (m *MergedTimeline) RecoveryReports() []RecoveryReport {
+	var reports []RecoveryReport
+	byXfer := make(map[uint64]int) // XferID -> index into reports
+	for _, e := range m.Entries {
+		switch e.Type {
+		case EventMemberAdd:
+			byXfer[e.XferID] = len(reports)
+			reports = append(reports, RecoveryReport{
+				Group: e.Group, Node: e.Node, XferID: e.XferID,
+				SyncSeq: e.Seq, SyncAt: e.At, Enqueued: -1,
+			})
+		case EventSetState:
+			if i, ok := byXfer[e.XferID]; ok && reports[i].Group == e.Group {
+				reports[i].SetStateSeq = e.Seq
+				reports[i].Donor = e.Node
+				reports[i].Complete = true
+			}
+		case EventRecovered:
+			if i, ok := byXfer[e.XferID]; ok && reports[i].Group == e.Group {
+				reports[i].Enqueued = e.Value
+				reports[i].PhaseDetail = e.Detail
+				reports[i].Complete = true
+			}
+		}
+	}
+	for i := range reports {
+		r := &reports[i]
+		if r.SetStateSeq == 0 {
+			continue
+		}
+		for _, e := range m.Entries {
+			if e.Seq > r.SyncSeq && e.Seq < r.SetStateSeq {
+				r.During = append(r.During, e)
+			}
+		}
+	}
+	return reports
+}

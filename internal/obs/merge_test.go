@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// mkEvent builds a feed event; helper keeps the tables readable.
+func mkEvent(seq uint64, typ, group, node string, xfer uint64, ordered bool) Event {
+	return Event{
+		Seq: seq, At: time.Unix(int64(seq), 0), Type: typ,
+		Group: group, Node: node, XferID: xfer, Ordered: ordered,
+	}
+}
+
+func TestMergeCollapsesIdenticalOrderedEvents(t *testing.T) {
+	feeds := map[string][]Event{
+		"a": {
+			mkEvent(5, EventGroupCreate, "g", "", 0, true),
+			mkEvent(9, EventMemberAdd, "g", "c", 77, true),
+			mkEvent(7, EventSuspicion, "g", "b", 0, false),
+		},
+		"b": {
+			mkEvent(5, EventGroupCreate, "g", "", 0, true),
+			mkEvent(9, EventMemberAdd, "g", "c", 77, true),
+		},
+		"c": {
+			mkEvent(9, EventMemberAdd, "g", "c", 77, true),
+		},
+	}
+	m := MergeEvents(feeds)
+	if len(m.Divergences) != 0 {
+		t.Fatalf("unexpected divergences: %+v", m.Divergences)
+	}
+	if len(m.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3 (create, suspicion, add): %+v", len(m.Entries), m.Entries)
+	}
+	// Totally ordered by seq.
+	for i := 1; i < len(m.Entries); i++ {
+		if m.Entries[i].Seq < m.Entries[i-1].Seq {
+			t.Fatalf("entries out of order: %+v", m.Entries)
+		}
+	}
+	create := m.Entries[0]
+	if create.Type != EventGroupCreate || len(create.Origins) != 2 {
+		t.Fatalf("create entry = %+v, want origins [a b]", create)
+	}
+	add := m.Entries[2]
+	if add.Type != EventMemberAdd || len(add.Origins) != 3 {
+		t.Fatalf("add entry = %+v, want origins [a b c]", add)
+	}
+	local := m.Entries[1]
+	if local.Type != EventSuspicion || local.Ordered || len(local.Origins) != 1 {
+		t.Fatalf("suspicion entry = %+v", local)
+	}
+}
+
+func TestMergeFlagsDivergence(t *testing.T) {
+	feeds := map[string][]Event{
+		"a": {
+			mkEvent(3, EventGroupCreate, "g", "", 0, true),
+			mkEvent(8, EventMemberRemove, "g", "x", 0, true),
+		},
+		"b": {
+			mkEvent(3, EventGroupCreate, "g", "", 0, true),
+			mkEvent(8, EventMemberRemove, "g", "y", 0, true), // disagrees on the member
+		},
+	}
+	m := MergeEvents(feeds)
+	if len(m.Divergences) != 1 || m.Divergences[0].Seq != 8 {
+		t.Fatalf("divergences = %+v, want one at seq 8", m.Divergences)
+	}
+	if len(m.Divergences[0].Keys["a"]) != 1 || len(m.Divergences[0].Keys["b"]) != 1 {
+		t.Fatalf("divergence keys = %+v", m.Divergences[0].Keys)
+	}
+}
+
+func TestMergeMissingEventWithinCoverageDiverges(t *testing.T) {
+	feeds := map[string][]Event{
+		"a": {
+			mkEvent(3, EventGroupCreate, "g", "", 0, true),
+			mkEvent(5, EventMemberRemove, "g", "x", 0, true),
+			mkEvent(9, EventCheckpoint, "g", "", 1, true),
+		},
+		"b": { // covers 3..9 but never saw the removal at 5
+			mkEvent(3, EventGroupCreate, "g", "", 0, true),
+			mkEvent(9, EventCheckpoint, "g", "", 1, true),
+		},
+	}
+	m := MergeEvents(feeds)
+	if len(m.Divergences) != 1 || m.Divergences[0].Seq != 5 {
+		t.Fatalf("divergences = %+v, want one at seq 5", m.Divergences)
+	}
+}
+
+func TestMergeOutsideCoverageIsNotDivergence(t *testing.T) {
+	// Node b joined late: its feed only starts at seq 20. Earlier events
+	// recorded by a alone must not count against b.
+	feeds := map[string][]Event{
+		"a": {
+			mkEvent(3, EventGroupCreate, "g", "", 0, true),
+			mkEvent(20, EventCheckpoint, "g", "", 1, true),
+		},
+		"b": {
+			mkEvent(20, EventCheckpoint, "g", "", 1, true),
+		},
+	}
+	m := MergeEvents(feeds)
+	if len(m.Divergences) != 0 {
+		t.Fatalf("unexpected divergences: %+v", m.Divergences)
+	}
+}
+
+func TestRecoveryReports(t *testing.T) {
+	recovered := Event{
+		Seq: 14, At: time.Unix(14, 0), Type: EventRecovered,
+		Group: "g", Node: "c", XferID: 77, Value: 3,
+		Detail: "capture=1ms transfer=2ms apply=1ms replay=1ms",
+	}
+	feeds := map[string][]Event{
+		"a": {
+			mkEvent(9, EventMemberAdd, "g", "c", 77, true),
+			mkEvent(12, EventSetState, "g", "a", 77, true),
+		},
+		"c": {
+			mkEvent(9, EventMemberAdd, "g", "c", 77, true),
+			mkEvent(10, EventSuspicion, "g", "b", 0, false),
+			mkEvent(12, EventSetState, "g", "a", 77, true),
+			recovered,
+		},
+	}
+	m := MergeEvents(feeds)
+	reports := m.RecoveryReports()
+	if len(reports) != 1 {
+		t.Fatalf("reports = %+v, want 1", reports)
+	}
+	r := reports[0]
+	if !r.Complete || r.Group != "g" || r.Node != "c" || r.XferID != 77 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.SyncSeq != 9 || r.SetStateSeq != 12 || r.Donor != "a" {
+		t.Fatalf("report positions = %+v", r)
+	}
+	if r.Enqueued != 3 || r.PhaseDetail == "" {
+		t.Fatalf("report recovering-side detail = %+v", r)
+	}
+	if len(r.During) != 1 || r.During[0].Type != EventSuspicion {
+		t.Fatalf("During = %+v, want the seq-10 suspicion", r.During)
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecorderRingBoundsAndDrops(t *testing.T) {
+	r := NewRecorder(4, "n1")
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Type: EventCheckpoint, Seq: uint64(i + 1), Ordered: true})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	got := r.Since(0, 0)
+	if len(got) != 4 {
+		t.Fatalf("Since(0) returned %d events, want 4", len(got))
+	}
+	for i, ev := range got {
+		if want := uint64(7 + i); ev.Index != want {
+			t.Fatalf("event %d: Index = %d, want %d", i, ev.Index, want)
+		}
+		if ev.Origin != "n1" {
+			t.Fatalf("event %d: Origin = %q, want n1", i, ev.Origin)
+		}
+		if ev.At.IsZero() {
+			t.Fatalf("event %d: At not stamped", i)
+		}
+	}
+}
+
+func TestRecorderSincePagination(t *testing.T) {
+	r := NewRecorder(16, "n1")
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Type: EventView, Ordered: true})
+	}
+	page1 := r.Since(0, 4)
+	if len(page1) != 4 || page1[0].Index != 1 || page1[3].Index != 4 {
+		t.Fatalf("page1 = %+v", page1)
+	}
+	page2 := r.Since(page1[len(page1)-1].Index, 4)
+	if len(page2) != 4 || page2[0].Index != 5 {
+		t.Fatalf("page2 = %+v", page2)
+	}
+	page3 := r.Since(page2[len(page2)-1].Index, 4)
+	if len(page3) != 2 || page3[1].Index != 10 {
+		t.Fatalf("page3 = %+v", page3)
+	}
+	if rest := r.Since(10, 4); len(rest) != 0 {
+		t.Fatalf("Since(10) = %+v, want empty", rest)
+	}
+	// An `after` below the retained window returns everything retained.
+	if all := r.Since(0, 0); len(all) != 10 {
+		t.Fatalf("Since(0, 0) returned %d events, want 10", len(all))
+	}
+}
+
+func TestRecorderSinceAfterEviction(t *testing.T) {
+	r := NewRecorder(3, "n1")
+	for i := 0; i < 8; i++ {
+		r.Record(Event{Type: EventView, Ordered: true})
+	}
+	// Retained: indexes 6, 7, 8. A cursor inside the dropped range resumes
+	// at the oldest retained event.
+	got := r.Since(2, 0)
+	if len(got) != 3 || got[0].Index != 6 {
+		t.Fatalf("Since(2) = %+v, want indexes 6..8", got)
+	}
+	if got = r.Since(6, 0); len(got) != 2 || got[0].Index != 7 {
+		t.Fatalf("Since(6) = %+v, want indexes 7..8", got)
+	}
+}
+
+func TestRecorderSeqSource(t *testing.T) {
+	r := NewRecorder(8, "n1")
+	r.SetSeqSource(func() uint64 { return 42 })
+	r.Record(Event{Type: EventSuspicion})                   // local: stamped from source
+	r.Record(Event{Type: EventView, Seq: 7, Ordered: true}) // explicit seq kept
+	got := r.Since(0, 0)
+	if got[0].Seq != 42 {
+		t.Fatalf("local event Seq = %d, want 42", got[0].Seq)
+	}
+	if got[1].Seq != 7 {
+		t.Fatalf("ordered event Seq = %d, want 7", got[1].Seq)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(64, "n1")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Event{Type: EventSuspicion})
+				r.Since(0, 10)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 800 {
+		t.Fatalf("Total = %d, want 800", r.Total())
+	}
+	if r.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", r.Len())
+	}
+	if r.Dropped() != 800-64 {
+		t.Fatalf("Dropped = %d, want %d", r.Dropped(), 800-64)
+	}
+	// Indexes in a snapshot are contiguous and ascending.
+	evs := r.Since(0, 0)
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Index != evs[i-1].Index+1 {
+			t.Fatalf("non-contiguous indexes: %d then %d", evs[i-1].Index, evs[i].Index)
+		}
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Type: EventView}) // must not panic
+}

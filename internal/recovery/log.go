@@ -1,6 +1,9 @@
 package recovery
 
-import "eternal/internal/replication"
+import (
+	"eternal/internal/obs"
+	"eternal/internal/replication"
+)
 
 // Log is the per-group checkpoint-and-message log of paper §3.3: Eternal
 // logs each checkpoint and the ordered messages that follow it, until the
@@ -22,11 +25,23 @@ type Log struct {
 	totalLogged uint64
 	// gcRuns counts checkpoint overwrites.
 	gcRuns uint64
+
+	// rec, when set, receives a flight-recorder event per checkpoint
+	// overwrite (the §3.3 log GC); group names the owning object group.
+	rec   *obs.Recorder
+	group string
 }
 
 // NewLog creates an empty log.
 func NewLog() *Log {
 	return &Log{}
+}
+
+// Instrument routes the log's garbage-collection events for the named
+// group into the flight recorder. Call before the log is used.
+func (l *Log) Instrument(rec *obs.Recorder, group string) {
+	l.rec = rec
+	l.group = group
 }
 
 // Append logs one ordered message (a KRequest delivered after the last
@@ -58,6 +73,11 @@ func (l *Log) TruncateTo(bundle []byte, keepFrom int) {
 	}
 	l.msgs = append([]*replication.Envelope(nil), l.msgs[keepFrom:]...)
 	l.gcRuns++
+	if l.rec != nil {
+		l.rec.Record(obs.Event{
+			Type: obs.EventLogGC, Group: l.group, Value: int64(keepFrom),
+		})
+	}
 }
 
 // Checkpoint returns the last checkpoint; ok is false before the first

@@ -166,6 +166,10 @@ type Config struct {
 	// pending-queue depth, multicast→delivery latency). Nil disables
 	// export; the protocol's cumulative Stats() counters work regardless.
 	Metrics *obs.Registry
+	// Recorder receives protocol-level flight-recorder events: token
+	// losses and the other membership-reformation triggers, each anchored
+	// to the processor's last delivered sequence number. Nil disables.
+	Recorder *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -438,7 +442,7 @@ func (p *Processor) run() {
 	ticker := time.NewTicker(p.cfg.Tick)
 	defer ticker.Stop()
 
-	p.enterGather(time.Now())
+	p.enterGather(time.Now(), "")
 
 	for {
 		select {
@@ -544,7 +548,7 @@ func (p *Processor) handleAnnounce(m *announceMsg, now time.Time) {
 	if slices.Contains(p.members, m.Ring.Rep) && m.Ring.Epoch <= p.ring.Epoch {
 		return // stale beacon from one of our own earlier rings
 	}
-	p.enterGather(now)
+	p.enterGather(now, "foreign-ring")
 }
 
 func (p *Processor) handleToken(tok *tokenMsg, now time.Time) {
@@ -815,7 +819,19 @@ func (p *Processor) observeOwn(m *dataMsg) {
 
 // --- gather phase (membership) ---
 
-func (p *Processor) enterGather(now time.Time) {
+// enterGather moves the processor into the membership gather phase.
+// reason names the trigger for the flight recorder ("" for the silent
+// initial gather at startup).
+func (p *Processor) enterGather(now time.Time, reason string) {
+	if reason != "" && p.cfg.Recorder != nil {
+		typ := obs.EventReform
+		if reason == "token-loss" {
+			typ = obs.EventTokenLoss
+		}
+		p.cfg.Recorder.Record(obs.Event{
+			Type: typ, Seq: p.myAru, Detail: reason,
+		})
+	}
 	if p.state == stateOperational {
 		p.prevRing = p.ring
 	}
@@ -869,7 +885,7 @@ func (p *Processor) handleJoin(j *joinMsg, now time.Time) {
 			return
 		}
 		// Someone with current knowledge is rejoining or merging: reform.
-		p.enterGather(now)
+		p.enterGather(now, "peer-join")
 	}
 	p.joinInfo[j.Sender] = joinRecord{msg: j, seenAt: now}
 	if j.HighSeq > 0 && j.PrevRing == p.prevRing && j.HighSeq > p.seqHigh {
@@ -1023,7 +1039,7 @@ func (p *Processor) onTick(now time.Time) {
 			return
 		}
 		if now.Sub(p.lastTokenAt) > p.cfg.TokenLossTimeout {
-			p.enterGather(now)
+			p.enterGather(now, "token-loss")
 			return
 		}
 		if p.lastSentToken != nil && now.Sub(p.lastSentAt) >= p.cfg.TokenResend && p.tokenResends < 3 {
