@@ -15,12 +15,17 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"eternal"
@@ -57,6 +62,19 @@ type configRow struct {
 	McastDelivery *latencyQuantiles `json:"mcast_delivery_latency,omitempty"`
 }
 
+// sustainedRow is one sustained-load configuration's result.
+type sustainedRow struct {
+	Clients      int     `json:"clients"`
+	Packing      bool    `json:"packing"`
+	InvPerSec    float64 `json:"inv_per_sec"`
+	FramesPerInv float64 `json:"frames_per_inv"`
+	// DataFrames and PackedChunks aggregate the totem counters across all
+	// nodes: initial data-frame transmissions, and chunks that shared a
+	// packed frame with at least one other chunk.
+	DataFrames   uint64 `json:"data_frames"`
+	PackedChunks uint64 `json:"packed_chunks"`
+}
+
 func main() {
 	n := flag.Int("n", 2000, "invocations per configuration")
 	jsonPath := flag.String("json", "", "also write the results as JSON to this file (e.g. BENCH_overhead.json)")
@@ -73,6 +91,20 @@ func main() {
 		rows = append(rows, row)
 		fmt.Printf("%-28s %12.1f %11.0f%%\n", row.Configuration, row.UsPerInv, row.OverheadPct)
 	}
+
+	fmt.Println()
+	fmt.Println("sustained load — aggregate invocation rate, 3-way active group")
+	fmt.Printf("%-24s %12s %12s %14s\n", "configuration", "inv/s", "frames/inv", "packed chunks")
+	var sustained []sustainedRow
+	for _, packing := range []bool{true, false} {
+		for _, clients := range []int{1, 4, 16} {
+			row := benchSustained(*n, clients, packing)
+			sustained = append(sustained, row)
+			fmt.Printf("packing=%-5v clients=%-3d %12.0f %12.2f %14d\n",
+				row.Packing, row.Clients, row.InvPerSec, row.FramesPerInv, row.PackedChunks)
+		}
+	}
+
 	if *jsonPath != "" {
 		writeJSON(*jsonPath, map[string]any{
 			"benchmark":      "sec6_fault_free_overhead",
@@ -80,6 +112,7 @@ func main() {
 			"generated":      time.Now().UTC().Format(time.RFC3339),
 			"baseline_us":    base,
 			"configurations": rows,
+			"sustained":      sustained,
 		})
 	}
 }
@@ -145,6 +178,115 @@ func benchTCP(n int) float64 {
 		}
 	}
 	return float64(time.Since(start).Microseconds()) / float64(n)
+}
+
+// scrapeCounter reads one counter (including computed CounterFuncs) from a
+// node registry's Prometheus exposition.
+func scrapeCounter(r *eternal.MetricsRegistry, name string) float64 {
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+// benchSustained drives n total invocations from `clients` concurrent
+// clients against a 3-way active group and reports the aggregate rate, the
+// simulated-medium frames per invocation, and the totem packing counters
+// summed over all nodes.
+func benchSustained(n, clients int, packing bool) sustainedRow {
+	nodes := []string{"n1", "n2", "n3"}
+	tot := totem.Config{
+		TokenLossTimeout: 200 * time.Millisecond,
+		JoinInterval:     10 * time.Millisecond,
+		StableFor:        20 * time.Millisecond,
+		Tick:             time.Millisecond,
+	}
+	if !packing {
+		tot.Packing = totem.PackingOff
+	}
+	sys, err := eternal.NewSystem(eternal.SystemConfig{
+		Nodes: nodes,
+		Network: simnet.Config{
+			BandwidthBps: 100_000_000,
+			Latency:      50 * time.Microsecond,
+		},
+		Totem:          tot,
+		ManagerTick:    5 * time.Millisecond,
+		DefaultTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Shutdown()
+	sys.RegisterFactory("Null", func(oid string) eternal.Replica { return nullServant{} })
+	if err := sys.CreateGroup(eternal.GroupSpec{
+		Name: "null", TypeName: "Null",
+		Props: eternal.Properties{Style: eternal.Active, InitialReplicas: len(nodes), MinReplicas: 1},
+		Nodes: nodes,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	objs := make([]*eternal.ObjectRef, clients)
+	for i := range objs {
+		cl, err := sys.Client(nodes[i%len(nodes)], fmt.Sprintf("driver%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cl.Close()
+		if objs[i], err = cl.Resolve("null"); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := objs[i].Invoke("ping", nil); err != nil { // warm up
+			log.Fatal(err)
+		}
+	}
+	preFrames := sys.Network().Stats().FramesSent
+	preData, prePacked := totemCounters(sys, nodes)
+	start := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for _, obj := range objs {
+		wg.Add(1)
+		go func(obj *eternal.ObjectRef) {
+			defer wg.Done()
+			for next.Add(1) <= int64(n) {
+				if _, err := obj.Invoke("ping", nil); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(obj)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	postFrames := sys.Network().Stats().FramesSent
+	postData, postPacked := totemCounters(sys, nodes)
+	return sustainedRow{
+		Clients:      clients,
+		Packing:      packing,
+		InvPerSec:    float64(n) / elapsed.Seconds(),
+		FramesPerInv: float64(postFrames-preFrames) / float64(n),
+		DataFrames:   uint64(postData - preData),
+		PackedChunks: uint64(postPacked - prePacked),
+	}
+}
+
+// totemCounters sums the data-frame and packed-chunk counters over nodes.
+func totemCounters(sys *eternal.System, nodes []string) (dataFrames, packed float64) {
+	for _, nd := range nodes {
+		reg := sys.Node(nd).Metrics()
+		dataFrames += scrapeCounter(reg, "eternal_totem_data_frames_total")
+		packed += scrapeCounter(reg, "eternal_totem_packed_messages_total")
+	}
+	return dataFrames, packed
 }
 
 // benchEternal times n invocations through a replicas-way active group

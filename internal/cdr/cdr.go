@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ByteOrder identifies the byte order of a CDR stream.
@@ -83,6 +84,44 @@ type Encoder struct {
 // NewEncoder returns an Encoder producing the given byte order.
 func NewEncoder(order ByteOrder) *Encoder {
 	return &Encoder{order: order}
+}
+
+// Reset empties the encoder for reuse, keeping the allocated buffer
+// capacity, and sets its byte order and a zero alignment origin.
+func (e *Encoder) Reset(order ByteOrder) {
+	e.buf = e.buf[:0]
+	e.order = order
+	e.base = 0
+}
+
+// maxPooledBuf bounds the buffer capacity retained by the encoder pool;
+// an encoder that grew past it (a large state transfer, say) is released
+// with its buffer dropped so the pool holds only hot-path-sized buffers.
+const maxPooledBuf = 64 << 10
+
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// AcquireEncoder returns an empty pooled Encoder producing the given byte
+// order. Release it with ReleaseEncoder when the encoded bytes are no
+// longer referenced; hot paths that encode, hand the bytes to a
+// non-retaining consumer (see totem.Transport's ownership rule) and
+// release, encode with zero steady-state allocation.
+func AcquireEncoder(order ByteOrder) *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset(order)
+	return e
+}
+
+// ReleaseEncoder returns e to the pool. The caller must not use e — nor
+// any slice previously obtained from e.Bytes() — after the call.
+func ReleaseEncoder(e *Encoder) {
+	if e == nil {
+		return
+	}
+	if cap(e.buf) > maxPooledBuf {
+		e.buf = nil
+	}
+	encoderPool.Put(e)
 }
 
 // Order reports the byte order the encoder writes.
@@ -366,6 +405,23 @@ func (d *Decoder) ReadOctetSeq() ([]byte, error) {
 	}
 	out := make([]byte, n)
 	copy(out, d.buf[d.pos:d.pos+int(n)])
+	d.pos += int(n)
+	return out, nil
+}
+
+// ReadOctetSeqView consumes a sequence<octet> and returns a view aliasing
+// the decoder's input buffer — no copy. The view is valid only as long as
+// the input buffer is, and the caller must not modify it; callers that
+// retain the bytes past the input's lifetime use ReadOctetSeq instead.
+func (d *Decoder) ReadOctetSeqView() ([]byte, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(d.Remaining()) < n {
+		return nil, ErrLengthOverflow
+	}
+	out := d.buf[d.pos : d.pos+int(n) : d.pos+int(n)]
 	d.pos += int(n)
 	return out, nil
 }

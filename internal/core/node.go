@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"eternal/internal/cdr"
 	"eternal/internal/faultdetect"
 	"eternal/internal/ftcorba"
 	"eternal/internal/interceptor"
@@ -553,7 +554,12 @@ func (n *Node) GroupMembers(group string) ([]replication.Member, error) {
 // --- internals shared with host/client files ---
 
 func (n *Node) multicast(env *replication.Envelope) {
-	_ = n.proc.Multicast(env.Encode())
+	// Pooled encode: Processor.Multicast copies the payload into its own
+	// chunk buffer before returning, so the encoder can be released here.
+	enc := cdr.AcquireEncoder(cdr.BigEndian)
+	env.EncodeTo(enc)
+	_ = n.proc.Multicast(enc.Bytes())
+	cdr.ReleaseEncoder(enc)
 }
 
 // subscribe returns a channel closed when key is signaled. A key already

@@ -1,16 +1,22 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"eternal/internal/ring"
+)
 
 // queue is an unbounded FIFO with blocking pop, used for per-replica
 // dispatch: the node's delivery loop must never block on a replica whose
 // servant is busy, so items land here and the replica's dispatcher
 // consumes them at its own pace — the paper's "enqueueing of normal
-// incoming IIOP messages at the Recovery Mechanisms" (§3.3).
+// incoming IIOP messages at the Recovery Mechanisms" (§3.3). Backed by a
+// ring buffer so dispatched items (with their request payloads) are
+// released on pop rather than pinned by a shifted slice's backing array.
 type queue[T any] struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	items  []T
+	items  ring.Buffer[T]
 	closed bool
 }
 
@@ -27,7 +33,7 @@ func (q *queue[T]) push(v T) {
 	if q.closed {
 		return
 	}
-	q.items = append(q.items, v)
+	q.items.Push(v)
 	q.cond.Signal()
 }
 
@@ -36,16 +42,11 @@ func (q *queue[T]) push(v T) {
 func (q *queue[T]) pop() (T, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for q.items.Len() == 0 && !q.closed {
 		q.cond.Wait()
 	}
-	var zero T
-	if len(q.items) == 0 {
-		return zero, false
-	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	v, ok := q.items.Pop()
+	return v, ok
 }
 
 // close wakes all poppers; queued items are still drained.
@@ -60,5 +61,5 @@ func (q *queue[T]) close() {
 func (q *queue[T]) size() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return q.items.Len()
 }

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"eternal/internal/cdr"
 )
@@ -107,9 +108,15 @@ type Message struct {
 
 // Marshal produces the full wire form of the message (header + body).
 func (m *Message) Marshal() []byte {
-	out := make([]byte, 0, HeaderLen+len(m.Body))
-	out = append(out, magic[:]...)
-	out = append(out, m.Version.Major, m.Version.Minor)
+	return m.AppendMarshal(make([]byte, 0, HeaderLen+len(m.Body)))
+}
+
+// AppendMarshal appends the full wire form of the message to dst and
+// returns the extended slice, letting callers reuse one buffer across
+// messages instead of allocating per Marshal.
+func (m *Message) AppendMarshal(dst []byte) []byte {
+	dst = append(dst, magic[:]...)
+	dst = append(dst, m.Version.Major, m.Version.Minor)
 	var flags byte
 	if m.Order == cdr.LittleEndian {
 		flags |= flagLittleEndian
@@ -117,16 +124,39 @@ func (m *Message) Marshal() []byte {
 	if m.MoreFragments {
 		flags |= flagMoreFrag
 	}
-	out = append(out, flags, byte(m.Type))
-	e := cdr.NewEncoder(m.Order)
-	e.WriteULong(uint32(len(m.Body)))
-	out = append(out, e.Bytes()...)
-	return append(out, m.Body...)
+	dst = append(dst, flags, byte(m.Type))
+	size := uint32(len(m.Body))
+	if m.Order == cdr.LittleEndian {
+		dst = append(dst, byte(size), byte(size>>8), byte(size>>16), byte(size>>24))
+	} else {
+		dst = append(dst, byte(size>>24), byte(size>>16), byte(size>>8), byte(size))
+	}
+	return append(dst, m.Body...)
 }
 
-// WriteTo writes the full wire form to w.
+// wireBufPool recycles marshal buffers for WriteTo: the bytes are handed
+// to w synchronously, so the buffer is free once Write returns.
+var wireBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// maxPooledWireBuf bounds the capacity retained in wireBufPool so a single
+// huge message does not pin its buffer forever.
+const maxPooledWireBuf = 256 << 10
+
+// WriteTo writes the full wire form to w in one Write call, using a pooled
+// buffer.
 func (m *Message) WriteTo(w io.Writer) (int64, error) {
-	n, err := w.Write(m.Marshal())
+	bp := wireBufPool.Get().(*[]byte)
+	buf := m.AppendMarshal((*bp)[:0])
+	n, err := w.Write(buf)
+	if cap(buf) <= maxPooledWireBuf {
+		*bp = buf[:0]
+		wireBufPool.Put(bp)
+	}
 	return int64(n), err
 }
 

@@ -112,9 +112,17 @@ type Envelope struct {
 	Payload []byte
 }
 
-// Encode serializes the envelope.
+// Encode serializes the envelope into a fresh buffer.
 func (e *Envelope) Encode() []byte {
 	enc := cdr.NewEncoder(cdr.BigEndian)
+	e.EncodeTo(enc)
+	return enc.Bytes()
+}
+
+// EncodeTo serializes the envelope into enc, so hot paths can encode into
+// a pooled encoder (see cdr.AcquireEncoder) instead of allocating per
+// envelope.
+func (e *Envelope) EncodeTo(enc *cdr.Encoder) {
 	enc.WriteOctet(byte(e.Kind))
 	enc.WriteString(e.Group)
 	enc.WriteString(e.Node)
@@ -126,7 +134,6 @@ func (e *Envelope) Encode() []byte {
 	enc.WriteULongLong(e.XferID)
 	enc.WriteULongLong(e.Trace)
 	enc.WriteOctetSeq(e.Payload)
-	return enc.Bytes()
 }
 
 // Decode parses an envelope.

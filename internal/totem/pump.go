@@ -1,14 +1,21 @@
 package totem
 
-import "sync"
+import (
+	"sync"
+
+	"eternal/internal/ring"
+)
 
 // pump is an unbounded FIFO bridging the protocol goroutine to consumers:
 // the protocol must never block on a slow consumer (a blocked run loop
 // would stall the token), so deliveries and membership views queue here.
+// The queue is a ring buffer so consumed deliveries (and their payloads)
+// are released as soon as they are handed out, instead of lingering in a
+// shifted slice's backing array.
 type pump[T any] struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []T
+	queue  ring.Buffer[T]
 	closed bool
 	out    chan T
 	done   chan struct{}
@@ -31,7 +38,7 @@ func (p *pump[T]) In(v T) {
 	if p.closed {
 		return
 	}
-	p.queue = append(p.queue, v)
+	p.queue.Push(v)
 	p.cond.Signal()
 }
 
@@ -55,15 +62,14 @@ func (p *pump[T]) run() {
 	defer close(p.out)
 	for {
 		p.mu.Lock()
-		for len(p.queue) == 0 && !p.closed {
+		for p.queue.Len() == 0 && !p.closed {
 			p.cond.Wait()
 		}
 		if p.closed {
 			p.mu.Unlock()
 			return
 		}
-		v := p.queue[0]
-		p.queue = p.queue[1:]
+		v, _ := p.queue.Pop()
 		p.mu.Unlock()
 		select {
 		case p.out <- v:

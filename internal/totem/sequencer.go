@@ -55,15 +55,16 @@ func (s *Sequencer) Deliveries() <-chan Delivery { return s.deliveries.Out() }
 
 // Multicast submits one message for total-order delivery.
 func (s *Sequencer) Multicast(payload []byte) error {
-	e := cdr.NewEncoder(cdr.BigEndian)
-	e.WriteOctet(sqSubmit)
-	e.WriteString(s.tr.Addr())
-	e.WriteOctetSeq(payload)
 	if s.tr.Addr() == s.leader {
 		// Local submit: stamp directly.
 		s.order(s.tr.Addr(), payload)
 		return nil
 	}
+	e := cdr.AcquireEncoder(cdr.BigEndian)
+	defer cdr.ReleaseEncoder(e)
+	e.WriteOctet(sqSubmit)
+	e.WriteString(s.tr.Addr())
+	e.WriteOctetSeq(payload)
 	return s.tr.Send(s.leader, e.Bytes())
 }
 
@@ -78,7 +79,8 @@ func (s *Sequencer) Stop() {
 
 func (s *Sequencer) order(sender string, payload []byte) {
 	seq := s.nextSeq.Add(1)
-	e := cdr.NewEncoder(cdr.BigEndian)
+	e := cdr.AcquireEncoder(cdr.BigEndian)
+	defer cdr.ReleaseEncoder(e)
 	e.WriteOctet(sqOrdered)
 	e.WriteULongLong(seq)
 	e.WriteString(sender)
@@ -115,7 +117,8 @@ func (s *Sequencer) handle(pkt Packet) {
 		if err != nil {
 			return
 		}
-		payload, err := d.ReadOctetSeq()
+		// View, not copy: order re-encodes the payload synchronously.
+		payload, err := d.ReadOctetSeqView()
 		if err != nil {
 			return
 		}

@@ -39,24 +39,34 @@ import (
 	"sync/atomic"
 	"time"
 
+	"eternal/internal/cdr"
 	"eternal/internal/obs"
+	"eternal/internal/ring"
 	"eternal/internal/simnet"
 )
 
-// Packet is one transport frame.
-type Packet struct {
-	From    string
-	Payload []byte
-}
+// Packet is one transport frame. It is an alias of simnet.Packet so a
+// simulated-network endpoint satisfies Transport directly — no bridging
+// goroutine copying between two identical shapes on every frame.
+type Packet = simnet.Packet
 
 // Transport is the unreliable datagram layer totem runs over: a broadcast
 // medium with bounded frame size, such as internal/simnet or UDP.
+//
+// Buffer ownership: the payload slice passed to Send and Broadcast is
+// owned by the caller and is valid only for the duration of the call. An
+// implementation that needs the bytes after returning (queued delivery,
+// async I/O) must copy them first. This rule is what lets the protocol
+// encode frames into pooled buffers and recycle them immediately after
+// handing them to the transport (see doc/PERFORMANCE.md).
 type Transport interface {
 	// Addr returns this endpoint's unique address.
 	Addr() string
-	// Send transmits one frame to the named endpoint (best effort).
+	// Send transmits one frame to the named endpoint (best effort). The
+	// payload must not be retained after the call returns.
 	Send(to string, payload []byte) error
 	// Broadcast transmits one frame to all endpoints including this one.
+	// The payload must not be retained after the call returns.
 	Broadcast(payload []byte) error
 	// Recv returns the delivery channel; it closes when the transport does.
 	Recv() <-chan Packet
@@ -66,32 +76,13 @@ type Transport interface {
 	Close() error
 }
 
-// simnetTransport adapts a simnet.Endpoint to the Transport interface.
-type simnetTransport struct {
-	ep  *simnet.Endpoint
-	out chan Packet
-}
+// NewSimnetTransport adapts a simulated-network endpoint as a Transport.
+// The endpoint already satisfies the interface (Packet is simnet.Packet),
+// so this is the identity; it remains as the named constructor and the
+// place the conformance is pinned.
+func NewSimnetTransport(ep *simnet.Endpoint) Transport { return ep }
 
-// NewSimnetTransport wraps a simulated-network endpoint as a Transport.
-func NewSimnetTransport(ep *simnet.Endpoint) Transport {
-	t := &simnetTransport{ep: ep, out: make(chan Packet, 1024)}
-	go func() {
-		defer close(t.out)
-		for pkt := range ep.Recv() {
-			t.out <- Packet{From: pkt.From, Payload: pkt.Payload}
-		}
-	}()
-	return t
-}
-
-func (t *simnetTransport) Addr() string                         { return t.ep.Addr() }
-func (t *simnetTransport) Send(to string, payload []byte) error { return t.ep.Send(to, payload) }
-func (t *simnetTransport) Broadcast(payload []byte) error       { return t.ep.Broadcast(payload) }
-func (t *simnetTransport) Recv() <-chan Packet                  { return t.out }
-func (t *simnetTransport) MTU() int                             { return t.ep.MTU() }
-func (t *simnetTransport) Close() error                         { return t.ep.Close() }
-
-var _ Transport = (*simnetTransport)(nil)
+var _ Transport = (*simnet.Endpoint)(nil)
 
 // Delivery is one event in the totally-ordered delivery stream: either an
 // application message (View == nil; reassembled from its fragments) or a
@@ -131,7 +122,32 @@ type Stats struct {
 	Deliveries     uint64
 	ViewChanges    uint64
 	Tombstones     uint64
+	// DataFrames counts initial data-frame transmissions (retransmissions
+	// excluded). Without packing it equals ChunksSent; with packing it is
+	// lower whenever sub-MTU chunks shared a frame.
+	DataFrames uint64
+	// PackedChunks counts chunks that traveled in a frame shared with at
+	// least one other chunk.
+	PackedChunks uint64
 }
+
+// PackingFlag is a three-valued toggle whose zero value means "on", so
+// packing is the default without every Config literal naming it.
+type PackingFlag int
+
+const (
+	// PackingDefault enables packing (the zero value).
+	PackingDefault PackingFlag = iota
+	// PackingOff disables packing: one chunk per data frame, the
+	// pre-packing wire behaviour. Receivers always understand packed
+	// frames regardless of this flag, so mixed rings interoperate.
+	PackingOff
+	// PackingOn enables packing explicitly.
+	PackingOn
+)
+
+// Enabled reports whether the flag turns packing on.
+func (f PackingFlag) Enabled() bool { return f != PackingOff }
 
 // Config configures a Processor. Zero durations get defaults sized for
 // LAN-scale simulation; tests shrink them for fast reformations.
@@ -158,6 +174,14 @@ type Config struct {
 	// number may stay unsatisfied before it is declared unrecoverable and
 	// skipped (default 10).
 	MissThreshold int
+	// Packing gates Totem message packing: while holding the token, the
+	// sender packs multiple sub-MTU chunks — possibly from different
+	// application messages — into one data frame under a single sequence
+	// number, instead of spending a full frame and sequence number per
+	// chunk. Fragments of large messages still fill whole frames; packing
+	// recovers the waste on the sub-MTU tail. The zero value enables it;
+	// set PackingOff for the ablation baseline.
+	Packing PackingFlag
 	// AnnounceInterval is the period of the representative's ring beacon,
 	// used to discover foreign rings after a partition heals
 	// (default 8*JoinInterval).
@@ -259,11 +283,15 @@ type Processor struct {
 	myAru    uint64
 	gcLow    uint64
 	store    map[uint64]*dataMsg
-	pending  []*dataMsg
-	msgID    uint64
-	reasm    map[string]*partial
-	round    uint64
-	miss     map[uint64]int
+	// pending holds chunks enqueued locally and awaiting a token visit; a
+	// ring buffer so delivered chunks are released, not retained by a
+	// shifted slice's backing array.
+	pending ring.Buffer[chunk]
+	packing bool
+	msgID   uint64
+	reasm   map[string]*partial
+	round   uint64
+	miss    map[uint64]int
 
 	joinInfo     map[string]joinRecord
 	stableSince  time.Time
@@ -292,6 +320,8 @@ type Processor struct {
 	nDeliveries atomic.Uint64
 	nViews      atomic.Uint64
 	nTombstones atomic.Uint64
+	nDataFrames atomic.Uint64
+	nPacked     atomic.Uint64
 
 	// Metrics export (nil-safe via a private registry when unconfigured).
 	mPktsIn   *obs.Counter
@@ -338,6 +368,7 @@ func Start(cfg Config) (*Processor, error) {
 		miss:       make(map[uint64]int),
 		joinInfo:   make(map[string]joinRecord),
 		sendTimes:  make(map[uint64]time.Time),
+		packing:    cfg.Packing.Enabled(),
 	}
 	p.registerMetrics(cfg.Metrics)
 	go p.run()
@@ -367,10 +398,19 @@ func (p *Processor) registerMetrics(r *obs.Registry) {
 		{"eternal_totem_deliveries_total", "messages delivered in agreed order", &p.nDeliveries},
 		{"eternal_totem_view_changes_total", "membership views delivered", &p.nViews},
 		{"eternal_totem_tombstones_total", "unrecoverable sequence numbers skipped", &p.nTombstones},
+		{"eternal_totem_data_frames_total", "data frames initially transmitted (retransmissions excluded)", &p.nDataFrames},
+		{"eternal_totem_packed_messages_total", "chunks that shared a packed frame with at least one other chunk", &p.nPacked},
 	} {
 		v := c.v
 		r.CounterFunc(c.name, c.help, func() float64 { return float64(v.Load()) })
 	}
+	r.GaugeFunc("eternal_totem_frames_per_message", "data frames per application message; packing drives this below the fragment count", func() float64 {
+		m := p.nMulticasts.Load()
+		if m == 0 {
+			return 0
+		}
+		return float64(p.nDataFrames.Load()) / float64(m)
+	})
 }
 
 // Addr returns the processor's transport address.
@@ -392,6 +432,8 @@ func (p *Processor) Stats() Stats {
 		Deliveries:     p.nDeliveries.Load(),
 		ViewChanges:    p.nViews.Load(),
 		Tombstones:     p.nTombstones.Load(),
+		DataFrames:     p.nDataFrames.Load(),
+		PackedChunks:   p.nPacked.Load(),
 	}
 }
 
@@ -401,15 +443,17 @@ func (p *Processor) Stats() Stats {
 // messages. Multicast may block briefly when the submit queue is full.
 func (p *Processor) Multicast(payload []byte) error {
 	chunkSize := p.tr.MTU() - fragMargin - len(p.addr)
+	// One defensive copy of the whole payload; chunks are subslices of it
+	// rather than per-chunk allocations.
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
 	var chunks [][]byte
-	if len(payload) == 0 {
+	if len(buf) == 0 {
 		chunks = [][]byte{{}}
 	}
-	for off := 0; off < len(payload); off += chunkSize {
-		end := min(off+chunkSize, len(payload))
-		c := make([]byte, end-off)
-		copy(c, payload[off:end])
-		chunks = append(chunks, c)
+	for off := 0; off < len(buf); off += chunkSize {
+		end := min(off+chunkSize, len(buf))
+		chunks = append(chunks, buf[off:end:end])
 	}
 	select {
 	case p.submitCh <- chunks:
@@ -471,7 +515,7 @@ func (p *Processor) enqueue(chunks [][]byte) {
 	id := p.msgID
 	total := uint32(len(chunks))
 	for i, c := range chunks {
-		p.pending = append(p.pending, &dataMsg{
+		p.pending.Push(chunk{
 			Sender:    p.addr,
 			MsgID:     id,
 			FragIdx:   uint32(i),
@@ -480,7 +524,7 @@ func (p *Processor) enqueue(chunks [][]byte) {
 		})
 	}
 	p.sendTimes[id] = time.Now()
-	p.mPending.Set(int64(len(p.pending)))
+	p.mPending.Set(int64(p.pending.Len()))
 }
 
 func (p *Processor) handlePacket(pkt Packet, now time.Time) {
@@ -571,10 +615,10 @@ func (p *Processor) handleToken(tok *tokenMsg, now time.Time) {
 	served := 0
 	var unsatisfied []uint64
 	for _, s := range tok.Rtr {
-		if m, ok := p.store[s]; ok && m.FragTotal > 0 {
+		if m, ok := p.store[s]; ok && len(m.Chunks) > 0 {
 			re := *m
 			re.Ring = p.ring // re-tag under the current ring
-			p.bcast(re.encode())
+			p.bcastMsg(&re)
 			p.nRetrans.Add(1)
 			served++
 		} else if s > p.gcLow {
@@ -595,9 +639,9 @@ func (p *Processor) handleToken(tok *tokenMsg, now time.Time) {
 		rtr = append(rtr, s)
 		p.miss[s]++
 		if p.miss[s] > p.cfg.MissThreshold {
-			// No live member holds this message: skip it with a tombstone
-			// so delivery can proceed (see package doc).
-			p.store[s] = &dataMsg{Ring: p.ring, Seq: s, FragTotal: 0}
+			// No live member holds this message: skip it with a chunkless
+			// tombstone so delivery can proceed (see package doc).
+			p.store[s] = &dataMsg{Ring: p.ring, Seq: s}
 			delete(p.miss, s)
 			rtr = rtr[:len(rtr)-1]
 			p.nTombstones.Add(1)
@@ -645,27 +689,50 @@ func (p *Processor) handleToken(tok *tokenMsg, now time.Time) {
 }
 
 // sendPending multicasts queued chunks while holding the token, bounded by
-// MaxPerToken, and returns how many were sent.
+// MaxPerToken chunks, and returns how many chunks were sent. With packing
+// enabled, consecutive sub-MTU chunks — possibly belonging to different
+// application messages — share one frame and one sequence number; the
+// conservative wireCost bound keeps each packed frame within the MTU
+// without a trial encode.
 func (p *Processor) sendPending(tok *tokenMsg) int {
-	n := 0
-	for ; n < p.cfg.MaxPerToken && len(p.pending) > 0; n++ {
-		m := p.pending[0]
-		p.pending = p.pending[1:]
-		tok.Seq++
-		m.Ring = p.ring
-		m.Seq = tok.Seq
-		p.store[m.Seq] = m
-		if m.Seq > p.seqHigh {
-			p.seqHigh = m.Seq
+	mtu := p.tr.MTU()
+	sent := 0
+	for sent < p.cfg.MaxPerToken && p.pending.Len() > 0 {
+		first, _ := p.pending.Pop()
+		sent++
+		frame := &dataMsg{Chunks: []chunk{first}}
+		size := packedFrameOverhead + len(p.ring.Rep) + first.wireCost()
+		if p.packing {
+			for sent < p.cfg.MaxPerToken {
+				next, ok := p.pending.Peek()
+				if !ok || size+next.wireCost() > mtu {
+					break
+				}
+				p.pending.Pop()
+				sent++
+				frame.Chunks = append(frame.Chunks, next)
+				size += next.wireCost()
+			}
 		}
-		p.bcast(m.encode())
-		p.nChunks.Add(1)
+		tok.Seq++
+		frame.Ring = p.ring
+		frame.Seq = tok.Seq
+		p.store[frame.Seq] = frame
+		if frame.Seq > p.seqHigh {
+			p.seqHigh = frame.Seq
+		}
+		p.bcastMsg(frame)
+		p.nChunks.Add(uint64(len(frame.Chunks)))
+		p.nDataFrames.Add(1)
+		if len(frame.Chunks) > 1 {
+			p.nPacked.Add(uint64(len(frame.Chunks)))
+		}
 	}
-	if n > 0 {
-		p.mPending.Set(int64(len(p.pending)))
+	if sent > 0 {
+		p.mPending.Set(int64(p.pending.Len()))
 		p.advanceAru()
 	}
-	return n
+	return sent
 }
 
 func (p *Processor) forwardToken(tok *tokenMsg, now time.Time) {
@@ -674,7 +741,7 @@ func (p *Processor) forwardToken(tok *tokenMsg, now time.Time) {
 	if succ == p.addr {
 		// Single-member ring: drain everything pending, then pace the
 		// token at one pass per tick instead of spinning at wire speed.
-		for len(p.pending) > 0 {
+		for p.pending.Len() > 0 {
 			p.sendPending(tok)
 		}
 		p.parkedToken = tok
@@ -692,7 +759,7 @@ func (p *Processor) transmitToken(tok *tokenMsg, succ string, now time.Time) {
 	p.lastSentToken = tok
 	p.lastSentAt = now
 	p.tokenResends = 0
-	p.send(succ, tok.encode())
+	p.sendMsg(succ, tok)
 }
 
 // releaseParked resumes a paced token: any newly-enqueued chunks are sent
@@ -703,7 +770,7 @@ func (p *Processor) releaseParked(now time.Time) {
 	if p.state != stateOperational || tok.Ring != p.ring {
 		return // ring changed while parked; the new ring mints a new token
 	}
-	if len(p.pending) > 0 {
+	if p.pending.Len() > 0 {
 		if p.sendPending(tok) > 0 {
 			tok.IdleHops = 0
 		}
@@ -757,37 +824,47 @@ func (p *Processor) releaseViews() {
 	}
 }
 
+// deliverMsg delivers one data frame: every chunk it carries, in order. A
+// chunkless frame is the tombstone for an unrecoverable sequence number.
+// Chunks packed into one frame share its sequence number, so consecutive
+// Deliveries may carry equal Seq values.
 func (p *Processor) deliverMsg(m *dataMsg) {
-	if m.FragTotal == 0 {
-		return // tombstone for an unrecoverable message
+	for i := range m.Chunks {
+		p.deliverChunk(m.Seq, &m.Chunks[i])
 	}
-	if m.FragTotal == 1 {
-		p.observeOwn(m)
-		p.emit(Delivery{Seq: m.Seq, Sender: m.Sender, Payload: m.Payload})
+}
+
+func (p *Processor) deliverChunk(seq uint64, c *chunk) {
+	if c.FragTotal == 0 {
+		return // malformed chunk; a wire frame never carries one
+	}
+	if c.FragTotal == 1 {
+		p.observeOwn(c)
+		p.emit(Delivery{Seq: seq, Sender: c.Sender, Payload: c.Payload})
 		return
 	}
-	key := m.Sender
+	key := c.Sender
 	pa := p.reasm[key]
-	if m.FragIdx == 0 {
+	if c.FragIdx == 0 {
 		pa = &partial{}
 		p.reasm[key] = pa
 	}
-	if pa == nil || pa.broken || pa.next != m.FragIdx {
+	if pa == nil || pa.broken || pa.next != c.FragIdx {
 		// A fragment whose predecessors were lost (tombstoned): the whole
 		// message is undeliverable; drop the remainder quietly.
 		if pa != nil {
 			pa.broken = true
 		}
-		if m.FragIdx == m.FragTotal-1 {
+		if c.FragIdx == c.FragTotal-1 {
 			delete(p.reasm, key)
 		}
 		return
 	}
-	pa.frags = append(pa.frags, m.Payload)
+	pa.frags = append(pa.frags, c.Payload)
 	pa.next++
-	if pa.next == m.FragTotal {
+	if pa.next == c.FragTotal {
 		delete(p.reasm, key)
-		p.observeOwn(m)
+		p.observeOwn(c)
 		var size int
 		for _, f := range pa.frags {
 			size += len(f)
@@ -796,7 +873,7 @@ func (p *Processor) deliverMsg(m *dataMsg) {
 		for _, f := range pa.frags {
 			joined = append(joined, f...)
 		}
-		p.emit(Delivery{Seq: m.Seq, Sender: m.Sender, Payload: joined})
+		p.emit(Delivery{Seq: seq, Sender: c.Sender, Payload: joined})
 	}
 }
 
@@ -807,12 +884,12 @@ func (p *Processor) emit(d Delivery) {
 
 // observeOwn records the submit→delivery latency of a locally originated
 // message, at the delivery of its last fragment.
-func (p *Processor) observeOwn(m *dataMsg) {
-	if m.Sender != p.addr {
+func (p *Processor) observeOwn(c *chunk) {
+	if c.Sender != p.addr {
 		return
 	}
-	if t, ok := p.sendTimes[m.MsgID]; ok {
-		delete(p.sendTimes, m.MsgID)
+	if t, ok := p.sendTimes[c.MsgID]; ok {
+		delete(p.sendTimes, c.MsgID)
 		p.mLatency.ObserveDuration(time.Since(t))
 	}
 }
@@ -853,7 +930,7 @@ func (p *Processor) sendJoin(now time.Time) {
 		HighSeq:  p.seqHigh,
 		MaxEpoch: p.maxEpoch,
 	}
-	p.bcast(j.encode())
+	p.bcastMsg(j)
 }
 
 func (p *Processor) aliveSet(now time.Time) []string {
@@ -881,7 +958,7 @@ func (p *Processor) handleJoin(j *joinMsg, now time.Time) {
 			// reform; instead tell the sender which ring is current so a
 			// genuine joiner can re-join with a fresh epoch.
 			ann := announceMsg{Ring: p.ring}
-			p.send(j.Sender, ann.encode())
+			p.sendMsg(j.Sender, &ann)
 			return
 		}
 		// Someone with current knowledge is rejoining or merging: reform.
@@ -937,12 +1014,12 @@ func (p *Processor) installRing(f *formMsg, now time.Time) {
 		p.reasm = make(map[string]*partial)
 		// Own messages already multicast under the abandoned lineage will
 		// never be delivered; keep submit times only for still-pending chunks.
-		live := make(map[uint64]time.Time, len(p.pending))
-		for _, m := range p.pending {
-			if t, ok := p.sendTimes[m.MsgID]; ok {
-				live[m.MsgID] = t
+		live := make(map[uint64]time.Time, p.pending.Len())
+		p.pending.Each(func(c *chunk) {
+			if t, ok := p.sendTimes[c.MsgID]; ok {
+				live[c.MsgID] = t
 			}
-		}
+		})
 		p.sendTimes = live
 		p.myAru = f.StartSeq
 		p.gcLow = f.StartSeq
@@ -1020,7 +1097,7 @@ func (p *Processor) tryFormRing(now time.Time) {
 		Lineage:  lineage,
 		StartSeq: startSeq,
 	}
-	p.bcast(f.encode())
+	p.bcastMsg(f)
 	p.installRing(f, now)
 }
 
@@ -1045,24 +1122,36 @@ func (p *Processor) onTick(now time.Time) {
 		if p.lastSentToken != nil && now.Sub(p.lastSentAt) >= p.cfg.TokenResend && p.tokenResends < 3 {
 			p.tokenResends++
 			p.lastSentAt = now
-			p.send(p.successor(), p.lastSentToken.encode())
+			p.sendMsg(p.successor(), p.lastSentToken)
 		}
 		if p.ring.Rep == p.addr && now.Sub(p.lastAnnounceAt) >= p.cfg.AnnounceInterval {
 			p.lastAnnounceAt = now
 			ann := announceMsg{Ring: p.ring}
-			p.bcast(ann.encode())
+			p.bcastMsg(&ann)
 		}
 	}
 }
 
-func (p *Processor) bcast(payload []byte) {
+// bcastMsg encodes m into a pooled buffer, broadcasts it, and returns the
+// buffer to the pool — legal because Transport implementations must not
+// retain the payload after Broadcast returns (see Transport).
+func (p *Processor) bcastMsg(m wireMsg) {
+	e := cdr.AcquireEncoder(cdr.BigEndian)
+	m.encodeTo(e)
+	buf := e.Bytes()
 	p.mPktsOut.Inc()
-	p.mBytesOut.Add(uint64(len(payload)))
-	_ = p.tr.Broadcast(payload)
+	p.mBytesOut.Add(uint64(len(buf)))
+	_ = p.tr.Broadcast(buf)
+	cdr.ReleaseEncoder(e)
 }
 
-func (p *Processor) send(to string, payload []byte) {
+// sendMsg is bcastMsg for unicast.
+func (p *Processor) sendMsg(to string, m wireMsg) {
+	e := cdr.AcquireEncoder(cdr.BigEndian)
+	m.encodeTo(e)
+	buf := e.Bytes()
 	p.mPktsOut.Inc()
-	p.mBytesOut.Add(uint64(len(payload)))
-	_ = p.tr.Send(to, payload)
+	p.mBytesOut.Add(uint64(len(buf)))
+	_ = p.tr.Send(to, buf)
+	cdr.ReleaseEncoder(e)
 }

@@ -100,11 +100,24 @@ func (t *UDPTransport) readLoop() {
 	}
 }
 
-func (t *UDPTransport) frame(payload []byte) []byte {
-	out := make([]byte, 0, 1+len(t.name)+len(payload))
+// framePool recycles frame buffers across Send/Broadcast calls: WriteToUDP
+// hands the datagram to the kernel synchronously, so the buffer is free the
+// moment it returns, and the Transport ownership rule means the caller's
+// payload may itself live in a pooled encoder buffer.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1+64+udpMTU)
+		return &b
+	},
+}
+
+func (t *UDPTransport) frame(payload []byte) *[]byte {
+	bp := framePool.Get().(*[]byte)
+	out := (*bp)[:0]
 	out = append(out, byte(len(t.name)))
 	out = append(out, t.name...)
-	return append(out, payload...)
+	*bp = append(out, payload...)
+	return bp
 }
 
 // Addr implements Transport.
@@ -129,13 +142,15 @@ func (t *UDPTransport) Send(to string, payload []byte) error {
 	if ua == nil {
 		return nil
 	}
-	_, err := t.conn.WriteToUDP(t.frame(payload), ua)
+	bp := t.frame(payload)
+	_, err := t.conn.WriteToUDP(*bp, ua)
+	framePool.Put(bp)
 	return err
 }
 
 // Broadcast implements Transport: unicast fan-out plus local loopback.
 func (t *UDPTransport) Broadcast(payload []byte) error {
-	frame := t.frame(payload)
+	bp := t.frame(payload)
 	t.mu.Lock()
 	addrs := make([]*net.UDPAddr, 0, len(t.peers))
 	for _, ua := range t.peers {
@@ -144,10 +159,11 @@ func (t *UDPTransport) Broadcast(payload []byte) error {
 	t.mu.Unlock()
 	var firstErr error
 	for _, ua := range addrs {
-		if _, err := t.conn.WriteToUDP(frame, ua); err != nil && firstErr == nil {
+		if _, err := t.conn.WriteToUDP(*bp, ua); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
+	framePool.Put(bp)
 	t.loopback(payload)
 	return firstErr
 }

@@ -14,6 +14,7 @@ const (
 	ptJoin     byte = 3
 	ptForm     byte = 4
 	ptAnnounce byte = 5
+	ptPacked   byte = 6
 )
 
 // ErrBadPacket reports an undecodable totem packet.
@@ -32,17 +33,28 @@ func (r ringIdentity) String() string { return fmt.Sprintf("ring(%d@%s)", r.Epoc
 
 func (r ringIdentity) isZero() bool { return r.Epoch == 0 && r.Rep == "" }
 
-// dataMsg is one totally-ordered multicast chunk. Large application
-// payloads are fragmented into several dataMsgs (paper §6: IIOP messages
-// larger than one Ethernet frame travel as multiple multicast messages).
-type dataMsg struct {
-	Ring      ringIdentity
-	Seq       uint64
+// chunk is one application-message chunk: a whole small message
+// (FragTotal == 1) or one MTU-sized fragment of a large one (paper §6:
+// IIOP messages larger than one Ethernet frame travel as multiple
+// multicast messages).
+type chunk struct {
 	Sender    string
 	MsgID     uint64
 	FragIdx   uint32
 	FragTotal uint32
 	Payload   []byte
+}
+
+// dataMsg is one totally-ordered data frame: a single sequence number
+// carrying one or more chunks. A frame holding several chunks travels as
+// ptPacked — Totem's message packing, which lets many sub-MTU messages
+// share one frame and one sequence number while the sender holds the
+// token. A frame with no chunks is the local tombstone for an
+// unrecoverable sequence number; tombstones never go on the wire.
+type dataMsg struct {
+	Ring   ringIdentity
+	Seq    uint64
+	Chunks []chunk
 }
 
 // tokenMsg is the rotating token: it carries the high sequence number, the
@@ -88,6 +100,13 @@ type formMsg struct {
 	StartSeq uint64
 }
 
+// wireMsg is any totem message that can encode itself into a CDR stream.
+// Encoding appends into a caller-supplied encoder so senders can reuse
+// pooled buffers (see Processor.bcastMsg/sendMsg).
+type wireMsg interface {
+	encodeTo(e *cdr.Encoder)
+}
+
 func encodeRing(e *cdr.Encoder, r ringIdentity) {
 	e.WriteULongLong(r.Epoch)
 	e.WriteString(r.Rep)
@@ -131,21 +150,75 @@ func decodeStrings(d *cdr.Decoder) ([]string, error) {
 	return out, nil
 }
 
-func (m *dataMsg) encode() []byte {
-	e := cdr.NewEncoder(cdr.BigEndian)
-	e.WriteOctet(ptData)
-	encodeRing(e, m.Ring)
-	e.WriteULongLong(m.Seq)
-	e.WriteString(m.Sender)
-	e.WriteULongLong(m.MsgID)
-	e.WriteULong(m.FragIdx)
-	e.WriteULong(m.FragTotal)
-	e.WriteOctetSeq(m.Payload)
-	return e.Bytes()
+func encodeChunk(e *cdr.Encoder, c *chunk) {
+	e.WriteString(c.Sender)
+	e.WriteULongLong(c.MsgID)
+	e.WriteULong(c.FragIdx)
+	e.WriteULong(c.FragTotal)
+	e.WriteOctetSeq(c.Payload)
 }
 
-func (m *tokenMsg) encode() []byte {
-	e := cdr.NewEncoder(cdr.BigEndian)
+// decodeChunk parses one chunk. Payloads alias the packet buffer (no
+// copy); that is safe because nothing in the delivery path mutates them
+// and the packet buffer is immutable once received.
+func decodeChunk(d *cdr.Decoder, c *chunk) error {
+	var err error
+	if c.Sender, err = d.ReadString(); err != nil {
+		return err
+	}
+	if c.MsgID, err = d.ReadULongLong(); err != nil {
+		return err
+	}
+	if c.FragIdx, err = d.ReadULong(); err != nil {
+		return err
+	}
+	if c.FragTotal, err = d.ReadULong(); err != nil {
+		return err
+	}
+	if c.Payload, err = d.ReadOctetSeqView(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Conservative wire-size bounds used by the packer (sendPending) to keep a
+// packed frame within the transport MTU without a trial encode. Both
+// over-estimate CDR alignment padding slightly; precision is not needed,
+// only the guarantee that estimate >= encoded size.
+const (
+	// packedFrameOverhead bounds the frame header: type octet, ring
+	// identity (minus the representative name, added by the caller),
+	// sequence number and chunk count.
+	packedFrameOverhead = 48
+	// packedChunkOverhead bounds one chunk's encoding beyond its sender
+	// name and payload bytes.
+	packedChunkOverhead = 48
+)
+
+// wireCost conservatively bounds the bytes c adds to a packed frame.
+func (c *chunk) wireCost() int { return packedChunkOverhead + len(c.Sender) + len(c.Payload) }
+
+func (m *dataMsg) encodeTo(e *cdr.Encoder) {
+	if len(m.Chunks) == 1 {
+		// Single-chunk frames keep the pre-packing ptData layout, so a
+		// packing sender interoperates with a Packing-off receiver.
+		c := &m.Chunks[0]
+		e.WriteOctet(ptData)
+		encodeRing(e, m.Ring)
+		e.WriteULongLong(m.Seq)
+		encodeChunk(e, c)
+		return
+	}
+	e.WriteOctet(ptPacked)
+	encodeRing(e, m.Ring)
+	e.WriteULongLong(m.Seq)
+	e.WriteULong(uint32(len(m.Chunks)))
+	for i := range m.Chunks {
+		encodeChunk(e, &m.Chunks[i])
+	}
+}
+
+func (m *tokenMsg) encodeTo(e *cdr.Encoder) {
 	e.WriteOctet(ptToken)
 	encodeRing(e, m.Ring)
 	e.WriteULongLong(m.Round)
@@ -158,39 +231,33 @@ func (m *tokenMsg) encode() []byte {
 	for _, s := range m.Rtr {
 		e.WriteULongLong(s)
 	}
-	return e.Bytes()
 }
 
-func (m *joinMsg) encode() []byte {
-	e := cdr.NewEncoder(cdr.BigEndian)
+func (m *joinMsg) encodeTo(e *cdr.Encoder) {
 	e.WriteOctet(ptJoin)
 	e.WriteString(m.Sender)
 	encodeStrings(e, m.Alive)
 	encodeRing(e, m.PrevRing)
 	e.WriteULongLong(m.HighSeq)
 	e.WriteULongLong(m.MaxEpoch)
-	return e.Bytes()
 }
 
-func (m *announceMsg) encode() []byte {
-	e := cdr.NewEncoder(cdr.BigEndian)
+func (m *announceMsg) encodeTo(e *cdr.Encoder) {
 	e.WriteOctet(ptAnnounce)
 	encodeRing(e, m.Ring)
-	return e.Bytes()
 }
 
-func (m *formMsg) encode() []byte {
-	e := cdr.NewEncoder(cdr.BigEndian)
+func (m *formMsg) encodeTo(e *cdr.Encoder) {
 	e.WriteOctet(ptForm)
 	encodeRing(e, m.Ring)
 	encodeStrings(e, m.Members)
 	encodeRing(e, m.Lineage)
 	e.WriteULongLong(m.StartSeq)
-	return e.Bytes()
 }
 
 // decodePacket parses any totem packet, returning one of *dataMsg,
-// *tokenMsg, *joinMsg or *formMsg.
+// *tokenMsg, *joinMsg, *formMsg or *announceMsg. Chunk payloads in the
+// returned dataMsg alias buf.
 func decodePacket(buf []byte) (any, error) {
 	d := cdr.NewDecoder(buf, cdr.BigEndian)
 	t, err := d.ReadOctet()
@@ -206,19 +273,36 @@ func decodePacket(buf []byte) (any, error) {
 		if m.Seq, err = d.ReadULongLong(); err != nil {
 			break
 		}
-		if m.Sender, err = d.ReadString(); err != nil {
+		m.Chunks = make([]chunk, 1)
+		if err = decodeChunk(d, &m.Chunks[0]); err != nil {
 			break
 		}
-		if m.MsgID, err = d.ReadULongLong(); err != nil {
+		return &m, nil
+	case ptPacked:
+		var m dataMsg
+		if m.Ring, err = decodeRing(d); err != nil {
 			break
 		}
-		if m.FragIdx, err = d.ReadULong(); err != nil {
+		if m.Seq, err = d.ReadULongLong(); err != nil {
 			break
 		}
-		if m.FragTotal, err = d.ReadULong(); err != nil {
+		var n uint32
+		if n, err = d.ReadULong(); err != nil {
 			break
 		}
-		if m.Payload, err = d.ReadOctetSeq(); err != nil {
+		// Each chunk costs at least ~25 wire bytes; a declared count far
+		// beyond the remaining stream is a corrupt or hostile frame.
+		if uint64(n)*16 > uint64(d.Remaining()+16) {
+			err = cdr.ErrLengthOverflow
+			break
+		}
+		m.Chunks = make([]chunk, n)
+		for i := uint32(0); i < n; i++ {
+			if err = decodeChunk(d, &m.Chunks[i]); err != nil {
+				break
+			}
+		}
+		if err != nil {
 			break
 		}
 		return &m, nil
