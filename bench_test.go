@@ -9,11 +9,13 @@
 //	ablation       BenchmarkCheckpointInterval   checkpoint frequency trade-off (§5)
 //	substrate      BenchmarkTotemMulticast       ordered-multicast cost by group size
 //	perf           BenchmarkSustainedThroughput  sustained invocation rate under concurrent clients
+//	E8 (§5.1)      BenchmarkRecoveryVsStateSize  foreground latency during recovery, chunked vs monolithic transfer
 package eternal_test
 
 import (
 	"fmt"
 	"net"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -634,5 +636,150 @@ func BenchmarkCheckpointInterval(b *testing.B) {
 			b.ReportMetric(float64(failover.Microseconds())/float64(b.N)/1000, "ms/failover")
 			b.ReportMetric(framesPerInv, "frames/inv")
 		})
+	}
+}
+
+// chunkBenchSystem is benchSystem with the state-transfer chunking knobs
+// exposed: chunkBytes 0 selects the default (~32 KiB), negative disables
+// chunking (the pre-chunking monolithic set_state); perToken caps chunk
+// multicasts per token rotation (0 = default).
+func chunkBenchSystem(b *testing.B, netCfg simnet.Config, size, chunkBytes, perToken int, nodes ...string) (*eternal.System, *eternal.ObjectRef) {
+	b.Helper()
+	sys, err := eternal.NewSystem(eternal.SystemConfig{
+		Nodes:               nodes,
+		Network:             netCfg,
+		Totem:               benchTotem(),
+		ManagerTick:         5 * time.Millisecond,
+		StateChunkBytes:     chunkBytes,
+		StateChunksPerToken: perToken,
+		DefaultTimeout:      120 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sys.Shutdown)
+	sys.RegisterFactory("Blob", func(oid string) eternal.Replica { return newBlob(size) })
+	if err := sys.CreateGroup(eternal.GroupSpec{
+		Name: "blob", TypeName: "Blob",
+		Props: eternal.Properties{Style: eternal.Active, InitialReplicas: len(nodes), MinReplicas: 1},
+		Nodes: nodes,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	cl, err := sys.Client(nodes[0], "driver")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Close)
+	obj, err := cl.Resolve("blob")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, obj
+}
+
+// p99Of returns the 99th-percentile of the samples (0 when empty).
+func p99Of(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	slices.Sort(sorted)
+	idx := len(sorted) * 99 / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// BenchmarkRecoveryVsStateSize is E8: what the chunked, flow-controlled
+// state transfer buys. A packet driver streams two-way invocations while a
+// replica with 64 KiB – 8 MiB of state is killed and recovered; the
+// per-invocation latencies are split into a steady-state window and the
+// recovery window. Three modes: monolithic (chunking disabled — every
+// foreground invocation submitted behind the state queues for the full
+// serialization of the bundle), chunked (the 32 KiB default, tuned for
+// transfer throughput), and paced (8 KiB chunks at one per token rotation,
+// tuned for foreground latency — see doc/PERFORMANCE.md).
+func BenchmarkRecoveryVsStateSize(b *testing.B) {
+	modes := []struct {
+		name                 string
+		chunkBytes, perToken int
+	}{
+		{"monolithic", -1, 0},
+		{"chunked", 0, 0},
+		{"paced", 8 << 10, 1},
+	}
+	for _, size := range []int{64 << 10, 1 << 20, 8 << 20} {
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("state=%dKiB/%s", size>>10, mode.name), func(b *testing.B) {
+				sys, obj := chunkBenchSystem(b, paperLAN(), size, mode.chunkBytes, mode.perToken, "n1", "n2")
+				ping(b, obj)
+
+				type sample struct {
+					start time.Time
+					rtt   time.Duration
+				}
+				var mu sync.Mutex
+				var samples []sample
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						s := time.Now()
+						if _, err := obj.Invoke("ping", nil); err != nil {
+							continue
+						}
+						mu.Lock()
+						samples = append(samples, sample{s, time.Since(s)})
+						mu.Unlock()
+					}
+				}()
+				time.Sleep(300 * time.Millisecond) // steady-state window
+
+				b.ResetTimer()
+				var total time.Duration
+				var steady, during []time.Duration
+				for i := 0; i < b.N; i++ {
+					killAt := time.Now()
+					if err := sys.Node("n2").KillReplica("blob", 30*time.Second); err != nil {
+						b.Fatal(err)
+					}
+					start := time.Now()
+					if err := sys.Node("n2").RecoverReplica("blob", 120*time.Second); err != nil {
+						b.Fatal(err)
+					}
+					recoveredAt := time.Now()
+					total += recoveredAt.Sub(start)
+					mu.Lock()
+					for _, s := range samples {
+						end := s.start.Add(s.rtt)
+						switch {
+						case end.Before(killAt):
+							steady = append(steady, s.rtt)
+						case s.start.Before(recoveredAt) && end.After(start):
+							during = append(during, s.rtt)
+						}
+					}
+					samples = samples[:0]
+					mu.Unlock()
+				}
+				b.StopTimer()
+				close(stop)
+				wg.Wait()
+				b.ReportMetric(float64(total.Microseconds())/float64(b.N)/1000, "ms/recovery")
+				b.ReportMetric(float64(p99Of(steady).Microseconds())/1000, "steady-p99-ms")
+				b.ReportMetric(float64(p99Of(during).Microseconds())/1000, "recovery-p99-ms")
+				st := sys.Node("n1").Stats()
+				b.ReportMetric(float64(st.StateChunksSent)/float64(b.N), "chunks/recovery")
+			})
+		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -78,7 +79,13 @@ type sustainedRow struct {
 func main() {
 	n := flag.Int("n", 2000, "invocations per configuration")
 	jsonPath := flag.String("json", "", "also write the results as JSON to this file (e.g. BENCH_overhead.json)")
+	recoveryJSON := flag.String("recovery-json", "", "run the E8 recovery sweep (foreground latency during chunked vs monolithic state transfer) and write it to this file (e.g. BENCH_5.json)")
 	flag.Parse()
+
+	if *recoveryJSON != "" {
+		runRecoverySweep(*recoveryJSON)
+		return
+	}
 
 	base := benchTCP(*n)
 	fmt.Println("§6 fault-free overhead — response time of a two-way invocation")
@@ -351,4 +358,240 @@ func benchEternal(n, replicas int) configRow {
 		Invocation:    quantilesOf(reg, "eternal_invocation_seconds"),
 		McastDelivery: quantilesOf(reg, "eternal_totem_mcast_delivery_seconds"),
 	}
+}
+
+// recoveryRow is one configuration of the E8 sweep: foreground invocation
+// latency while a replica with StateBytes of state recovers, split into
+// the steady-state window and the recovery window.
+type recoveryRow struct {
+	StateBytes     int     `json:"state_bytes"`
+	Mode           string  `json:"mode"`
+	ChunkBytes     int     `json:"chunk_bytes"`
+	ChunksPerToken int     `json:"chunks_per_token"`
+	RecoveryMs     float64 `json:"recovery_ms"`
+	SteadyP50Us    float64 `json:"steady_p50_us"`
+	SteadyP99Us    float64 `json:"steady_p99_us"`
+	RecoveryP50Us  float64 `json:"recovery_p50_us"`
+	RecoveryP99Us  float64 `json:"recovery_p99_us"`
+	// P99Ratio is the recovery-window p99 over the steady-state p99 — the
+	// foreground degradation a client sees while the transfer streams.
+	P99Ratio        float64 `json:"p99_ratio"`
+	RecoverySamples int     `json:"recovery_samples"`
+	ChunksSent      uint64  `json:"chunks_sent"`
+	ChunkStalls     uint64  `json:"chunk_stalls"`
+	Retransmits     uint64  `json:"retransmit_requests"`
+}
+
+// recoveryModes are the three transfer configurations the sweep compares.
+var recoveryModes = []struct {
+	name                 string
+	chunkBytes, perToken int
+}{
+	{"monolithic", -1, 0}, // chunking disabled: one KSetState bundle
+	{"chunked", 0, 0},     // 32 KiB default: transfer-throughput tuning
+	{"paced", 8 << 10, 1}, // 8 KiB × 1/token: foreground-latency tuning
+}
+
+func runRecoverySweep(path string) {
+	fmt.Println("E8 — foreground latency during recovery, chunked vs monolithic state transfer")
+	fmt.Printf("%-10s %-11s %12s %14s %16s %10s\n",
+		"state", "mode", "recovery ms", "steady p99 µs", "recovery p99 µs", "p99 ratio")
+	var rows []recoveryRow
+	for _, size := range []int{64 << 10, 1 << 20, 8 << 20} {
+		for _, mode := range recoveryModes {
+			row := benchRecovery(size, mode.name, mode.chunkBytes, mode.perToken)
+			rows = append(rows, row)
+			fmt.Printf("%-10s %-11s %12.1f %14.0f %16.0f %9.1fx\n",
+				fmt.Sprintf("%dKiB", size>>10), row.Mode, row.RecoveryMs,
+				row.SteadyP99Us, row.RecoveryP99Us, row.P99Ratio)
+		}
+	}
+	writeJSON(path, map[string]any{
+		"benchmark": "e8_recovery_vs_state_size",
+		"generated": time.Now().UTC().Format(time.RFC3339),
+		"medium":    "simulated 100 Mbps Ethernet, MTU 1518, 50us latency",
+		"rows":      rows,
+	})
+}
+
+// durQuantile returns the f-quantile of sorted durations (0 when empty).
+func durQuantile(sorted []time.Duration, f float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(f * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// benchRecovery measures one sweep configuration: a packet driver streams
+// two-way invocations against a 2-node active group while the second
+// node's replica is killed and recovered.
+func benchRecovery(size int, mode string, chunkBytes, perToken int) recoveryRow {
+	sys, err := eternal.NewSystem(eternal.SystemConfig{
+		Nodes:               []string{"n1", "n2"},
+		Network:             simnet.Config{BandwidthBps: 100_000_000, Latency: 50 * time.Microsecond, MTU: simnet.EthernetMTU},
+		Totem:               totem.Config{TokenLossTimeout: 200 * time.Millisecond, JoinInterval: 10 * time.Millisecond, StableFor: 20 * time.Millisecond, Tick: time.Millisecond},
+		ManagerTick:         5 * time.Millisecond,
+		StateChunkBytes:     chunkBytes,
+		StateChunksPerToken: perToken,
+		DefaultTimeout:      120 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Shutdown()
+	sys.RegisterFactory("Blob", func(oid string) eternal.Replica { return newRecoveryBlob(size) })
+	if err := sys.CreateGroup(eternal.GroupSpec{
+		Name: "blob", TypeName: "Blob",
+		Props: eternal.Properties{Style: eternal.Active, InitialReplicas: 2, MinReplicas: 1},
+		Nodes: []string{"n1", "n2"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	cl, err := sys.Client("n1", "driver")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	obj, err := cl.Resolve("blob")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := obj.Invoke("ping", nil); err != nil {
+		log.Fatal(err)
+	}
+
+	type sample struct {
+		start time.Time
+		rtt   time.Duration
+	}
+	var mu sync.Mutex
+	var samples []sample
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := time.Now()
+			if _, err := obj.Invoke("ping", nil); err != nil {
+				continue
+			}
+			mu.Lock()
+			samples = append(samples, sample{s, time.Since(s)})
+			mu.Unlock()
+		}
+	}()
+	time.Sleep(500 * time.Millisecond) // steady-state window
+	killAt := time.Now()
+	if err := sys.Node("n2").KillReplica("blob", 30*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	if err := sys.Node("n2").RecoverReplica("blob", 120*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	recoveredAt := time.Now()
+	close(stop)
+	wg.Wait()
+
+	var steady, during []time.Duration
+	for _, s := range samples {
+		end := s.start.Add(s.rtt)
+		switch {
+		case end.Before(killAt):
+			steady = append(steady, s.rtt)
+		case s.start.Before(recoveredAt) && end.After(start):
+			during = append(during, s.rtt)
+		}
+	}
+	slices.Sort(steady)
+	slices.Sort(during)
+	steadyP99 := durQuantile(steady, 0.99)
+	duringP99 := durQuantile(during, 0.99)
+	ratio := 0.0
+	if steadyP99 > 0 {
+		ratio = float64(duringP99) / float64(steadyP99)
+	}
+	st := sys.Node("n1").Stats()
+	st2 := sys.Node("n2").Stats()
+	return recoveryRow{
+		StateBytes:      size,
+		Mode:            mode,
+		ChunkBytes:      chunkBytes,
+		ChunksPerToken:  perToken,
+		RecoveryMs:      float64(recoveredAt.Sub(start).Microseconds()) / 1000,
+		SteadyP50Us:     float64(durQuantile(steady, 0.5).Microseconds()),
+		SteadyP99Us:     float64(steadyP99.Microseconds()),
+		RecoveryP50Us:   float64(durQuantile(during, 0.5).Microseconds()),
+		RecoveryP99Us:   float64(duringP99.Microseconds()),
+		P99Ratio:        ratio,
+		RecoverySamples: len(during),
+		ChunksSent:      st.StateChunksSent,
+		ChunkStalls:     st.StateChunkStalls,
+		Retransmits:     st2.StateRetransmitRequests,
+	}
+}
+
+// newRecoveryBlob is the E8 replica: a byte blob of the given size plus an
+// invocation counter driven by "ping".
+func newRecoveryBlob(size int) eternal.Replica {
+	return &recoveryBlob{state: make([]byte, size)}
+}
+
+type recoveryBlob struct {
+	mu    sync.Mutex
+	state []byte
+	n     uint64
+}
+
+func (b *recoveryBlob) Invoke(op string, args []byte, order eternal.ByteOrder) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch op {
+	case "ping":
+		b.n++
+		e := eternal.NewEncoder(order)
+		e.WriteULongLong(b.n)
+		return e.Bytes(), nil
+	default:
+		return nil, orb.BadOperation()
+	}
+}
+
+func (b *recoveryBlob) GetState() (eternal.Any, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := eternal.NewEncoder(eternal.BigEndian)
+	e.WriteULongLong(b.n)
+	e.WriteOctetSeq(b.state)
+	return eternal.AnyFromBytes(e.Bytes()), nil
+}
+
+func (b *recoveryBlob) SetState(st eternal.Any) error {
+	raw, err := st.Bytes()
+	if err != nil {
+		return eternal.ErrInvalidState
+	}
+	d := eternal.NewDecoder(raw, eternal.BigEndian)
+	n, err := d.ReadULongLong()
+	if err != nil {
+		return eternal.ErrInvalidState
+	}
+	state, err := d.ReadOctetSeq()
+	if err != nil {
+		return eternal.ErrInvalidState
+	}
+	b.mu.Lock()
+	b.n, b.state = n, state
+	b.mu.Unlock()
+	return nil
 }

@@ -85,9 +85,16 @@ func main() {
 		create   = flag.String("create", "", "create this replicated group after joining")
 		replicas = flag.String("replicas", "", "comma-separated placement nodes for -create")
 		style    = flag.String("style", "active", "replication style for -create: active|warm|cold")
+		minRepl  = flag.Int("min-replicas", 1,
+			"MinimumNumberReplicas for -create; below this the Resource Manager re-replicates onto a live node")
 		drive    = flag.Bool("drive", false, "run a demo client loop against the -create group")
 		logLevel = flag.String("log-level", "", "log mechanism events at this level: debug|info|warn|error (empty disables)")
 		admin    = flag.String("admin", "", "serve /metrics, /healthz, /trace and pprof on this host:port")
+
+		chunkBytes = flag.Int("state-chunk-bytes", 0,
+			"state-transfer chunk size in bytes (0 = default ~32KiB, negative disables chunking)")
+		chunksPerToken = flag.Int("state-chunks-per-token", 0,
+			"state chunks multicast per token rotation during a transfer (0 = default 2)")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -109,7 +116,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	nodeCfg := eternal.NodeConfig{Transport: tr}
+	nodeCfg := eternal.NodeConfig{
+		Transport:           tr,
+		StateChunkBytes:     *chunkBytes,
+		StateChunksPerToken: *chunksPerToken,
+	}
 	if *logLevel != "" {
 		level, err := eternal.ParseLogLevel(*logLevel)
 		if err != nil {
@@ -146,7 +157,7 @@ func main() {
 		props := eternal.Properties{
 			Style:           map[string]eternal.ReplicationStyle{"active": eternal.Active, "warm": eternal.WarmPassive, "cold": eternal.ColdPassive}[*style],
 			InitialReplicas: len(nodes),
-			MinReplicas:     1,
+			MinReplicas:     *minRepl,
 		}
 		if props.Style != eternal.Active {
 			props.CheckpointInterval = time.Second

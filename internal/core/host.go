@@ -231,6 +231,11 @@ func (h *replicaHost) process(item dispatchItem) {
 		h.node.tracer.Hop(item.env.Trace, h.node.addr, obs.HopDelivered)
 		if item.execute {
 			h.executeRequest(item.env, false)
+			if h.style != ftcorba.Active {
+				// The primary executes rather than logs, but its message
+				// count still drives the every-N checkpoint trigger.
+				h.log.NoteExecuted()
+			}
 		} else {
 			h.log.Append(item.env)
 			h.node.counters.requestsLogged.Add(1)
@@ -411,12 +416,19 @@ func (h *replicaHost) capture(xferID uint64, checkpoint bool) {
 	h.node.logger().Info("state captured", "group", h.group, "xfer", xferID,
 		"appStateBytes", len(bundle.AppState), "serverConns", len(bundle.ORB.ServerConns),
 		"captureDuration", captureDur, "checkpoint", checkpoint)
+	enc := bundle.Encode()
+	// Small bundles (and chunking disabled) take the monolithic Figure 5
+	// path; anything larger streams as paced chunks closed by a manifest.
+	if chunkBytes := h.node.stateChunkBytes(); chunkBytes > 0 && len(enc) > chunkBytes {
+		h.node.sendChunked(h.group, xferID, enc, chunkBytes)
+		return
+	}
 	h.node.multicast(&replication.Envelope{
 		Kind:    replication.KSetState,
 		Group:   h.group,
 		Node:    h.node.addr,
 		XferID:  xferID,
-		Payload: bundle.Encode(),
+		Payload: enc,
 	})
 }
 
@@ -582,11 +594,13 @@ func (h *replicaHost) promote() {
 		}
 	}
 	replayed := h.log.Len()
-	for _, env := range h.log.Messages() {
+	h.log.Each(func(env *replication.Envelope) {
 		h.executeRequest(env, true)
-	}
-	h.log = recovery.NewLog()
-	h.log.Instrument(h.node.recorder, h.group)
+	})
+	// Reset in place: the Log pointer stays valid for the delivery loop's
+	// concurrent CheckpointDue polls, and the policy/instrumentation
+	// survive into this host's primaryship.
+	h.log.Reset()
 	h.node.counters.promotions.Add(1)
 	h.node.recorder.Record(obs.Event{
 		Type: obs.EventPromoted, Group: h.group, Node: h.node.addr,

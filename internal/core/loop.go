@@ -14,11 +14,6 @@ import (
 	"eternal/internal/totem"
 )
 
-// syncSelfDeclareAfter is how long an unanswered KSyncRequest waits before
-// the node declares itself synchronized with an empty table (the
-// cold-start case where no node has state yet).
-const syncSelfDeclareAfter = 750 * time.Millisecond
-
 // loop is the node's single delivery-processing goroutine: it evaluates
 // the deterministic state machine over the totally-ordered stream. It
 // must never block on replica execution — that is what the per-replica
@@ -191,6 +186,7 @@ func (n *Node) handleView(v *totem.Membership) {
 		}
 		n.primaryOf = make(map[string]bool)
 		n.pendingAdd = make(map[string]bool)
+		n.inXfers = make(map[uint64]*inboundXfer)
 		n.synced = false
 		n.syncRequested = true
 		n.live = slices.Clone(v.Members)
@@ -272,6 +268,12 @@ func (n *Node) handleEnvelope(seq uint64, env *replication.Envelope) {
 		n.handleAdd(seq, env)
 	case replication.KSetState:
 		n.handleSetState(seq, env)
+	case replication.KStateChunk:
+		n.handleStateChunk(env)
+	case replication.KStateManifest:
+		n.handleStateManifest(seq, env)
+	case replication.KStateRetransmit:
+		n.handleStateRetransmit(env)
 	case replication.KCheckpoint:
 		n.handleCheckpoint(seq, env)
 	case replication.KSyncRequest:
@@ -337,9 +339,9 @@ func (n *Node) handleCreate(seq uint64, env *replication.Envelope) {
 		h, err := newReplicaHost(n, spec.Name, spec.Props.Style, withInstance, false)
 		if err == nil {
 			h.disableORBStateTransfer = n.disableORBStateTransfer.Load()
+			h.log.SetPolicy(spec.Props.CheckpointEveryN, spec.Props.CheckpointInterval, time.Now())
 			n.hosts[spec.Name] = h
 			n.primaryOf[spec.Name] = g.IsPrimary(n.addr)
-			n.lastCkpt[spec.Name] = time.Now()
 			n.startMonitor(h, spec.Props.FaultMonitoringInterval)
 			n.logger().Info("replica hosted", "group", spec.Name,
 				"style", spec.Props.Style.String(), "primary", g.IsPrimary(n.addr))
@@ -401,6 +403,7 @@ func (n *Node) handleAdd(seq uint64, env *replication.Envelope) {
 		h, err := newReplicaHost(n, env.Group, g.Spec.Props.Style, withInstance, recovering)
 		if err == nil {
 			h.disableORBStateTransfer = n.disableORBStateTransfer.Load()
+			h.log.SetPolicy(g.Spec.Props.CheckpointEveryN, g.Spec.Props.CheckpointInterval, time.Now())
 			n.hosts[env.Group] = h
 			n.primaryOf[env.Group] = !hasDonorNow
 			if !recovering {
@@ -532,7 +535,7 @@ func (n *Node) sweep(now time.Time) {
 	}
 	n.dispatchDepth.Set(int64(depth))
 	if !n.synced {
-		if n.syncWaiting && now.Sub(n.syncReqAt) > syncSelfDeclareAfter {
+		if n.syncWaiting && now.Sub(n.syncReqAt) > n.cfg.SyncSelfDeclare {
 			// Nobody answered: we are the first stateful node (cold
 			// start). Start from an empty table plus whatever control
 			// traffic we buffered.
@@ -540,15 +543,19 @@ func (n *Node) sweep(now time.Time) {
 		}
 		return
 	}
+	n.sweepXfers(now)
 	for _, name := range n.table.Names() {
 		g, _ := n.table.Get(name)
 		props := g.Spec.Props
 
 		// Checkpoint scheduler (paper §5: frequency fixed per object at
-		// deployment): the primary's node multicasts the marker.
+		// deployment, extended with an every-N-messages trigger): the
+		// primary's node multicasts the marker when its replica's log
+		// policy says one is due — time elapsed or messages handled,
+		// whichever fires first.
 		if props.Style != ftcorba.Active && g.IsPrimary(n.addr) {
-			if now.Sub(n.lastCkpt[name]) >= props.CheckpointInterval {
-				n.lastCkpt[name] = now
+			if h := n.hosts[name]; h != nil && !h.recovering && h.log.CheckpointDue(now) {
+				h.log.NoteCheckpoint(now)
 				n.multicast(&replication.Envelope{
 					Kind:   replication.KCheckpoint,
 					Group:  name,

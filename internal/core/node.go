@@ -57,6 +57,19 @@ type Config struct {
 	// ManagerTick is the period of the resource-manager sweep and
 	// checkpoint scheduler (default 20ms).
 	ManagerTick time.Duration
+	// SyncSelfDeclare is how long an unanswered KSyncRequest waits before
+	// the node declares itself synchronized with an empty table — the
+	// cold-start case where no node has state yet (default 750ms; slow
+	// rings want it longer, tests shorter).
+	SyncSelfDeclare time.Duration
+	// StateChunkBytes bounds one state-transfer chunk's payload. Zero
+	// selects recovery.DefaultChunkBytes (~32 KiB); negative disables
+	// chunking entirely, reverting to the monolithic set_state.
+	StateChunkBytes int
+	// StateChunksPerToken caps how many state chunks the transfer
+	// streamer multicasts per token rotation, so foreground traffic
+	// interleaves with a large transfer (default 2).
+	StateChunksPerToken int
 	// Logger receives structured mechanism events (group lifecycle, state
 	// transfers, faults). Nil disables logging.
 	Logger *slog.Logger
@@ -89,7 +102,7 @@ type Node struct {
 	hosts         map[string]*replicaHost
 	primaryOf     map[string]bool // group -> this node believes it is primary
 	pendingAdd    map[string]bool // group -> KAddMember multicast, not yet delivered
-	lastCkpt      map[string]time.Time
+	inXfers       map[uint64]*inboundXfer
 	synced        bool
 	syncRequested bool
 	syncWaiting   bool // our KSyncRequest was delivered; buffer after it
@@ -113,6 +126,17 @@ type Node struct {
 	signaled  map[string]bool
 
 	xferCounter atomic.Uint64
+
+	// Chunked state-transfer egress: captures enqueue outbound transfers
+	// here and the single streaming goroutine paces them onto the ring
+	// (FIFO, so each manifest follows its own chunks).
+	xferQ *queue[outboundXfer]
+	// xferCacheMu guards the donor-side retransmit cache.
+	xferCacheMu    sync.Mutex
+	xferCache      map[uint64]*cachedXfer
+	xferCacheOrder []uint64
+	// chunkHook is a test-only received-chunk filter (see setChunkHook).
+	chunkHook atomic.Value
 
 	// faults is the FaultNotifier: replica-level pull monitors publish
 	// here, and the node reacts by removing the faulty replica.
@@ -161,6 +185,12 @@ func Start(cfg Config) (*Node, error) {
 	if cfg.ManagerTick <= 0 {
 		cfg.ManagerTick = 20 * time.Millisecond
 	}
+	if cfg.SyncSelfDeclare <= 0 {
+		cfg.SyncSelfDeclare = 750 * time.Millisecond
+	}
+	if cfg.StateChunksPerToken <= 0 {
+		cfg.StateChunksPerToken = 2
+	}
 	metrics := cfg.Metrics
 	if metrics == nil {
 		metrics = obs.NewRegistry()
@@ -184,7 +214,9 @@ func Start(cfg Config) (*Node, error) {
 		hosts:      make(map[string]*replicaHost),
 		primaryOf:  make(map[string]bool),
 		pendingAdd: make(map[string]bool),
-		lastCkpt:   make(map[string]time.Time),
+		inXfers:    make(map[uint64]*inboundXfer),
+		xferQ:      newQueue[outboundXfer](),
+		xferCache:  make(map[uint64]*cachedXfer),
 		groupSet:   make(map[string]*replication.GroupSpec),
 		clients:    make(map[string]*clientEntity),
 		waiters:    make(map[string][]chan struct{}),
@@ -223,6 +255,7 @@ func Start(cfg Config) (*Node, error) {
 		"items queued across this node's replica dispatchers")
 	go n.loop()
 	go n.faultLoop()
+	go n.xferStreamer()
 	return n, nil
 }
 
@@ -258,6 +291,7 @@ func (n *Node) Addr() string { return n.addr }
 func (n *Node) Stop() {
 	n.stopOnce.Do(func() {
 		close(n.stopCh)
+		n.xferQ.close()
 		n.proc.Stop()
 	})
 	<-n.loopDone

@@ -32,6 +32,23 @@ type Stats struct {
 	Promotions uint64
 	// HandshakesReplayed counts §4.2.2 handshake injections.
 	HandshakesReplayed uint64
+	// StateChunksSent counts state chunks multicast by this node as donor
+	// (first transmissions only).
+	StateChunksSent uint64
+	// StateChunksResent counts chunks re-multicast in answer to
+	// retransmit-by-index requests.
+	StateChunksResent uint64
+	// StateChunkBytes counts payload bytes across sent and resent chunks.
+	StateChunkBytes uint64
+	// StateChunkStalls counts times the transfer streamer exhausted its
+	// per-rotation chunk budget and waited for the next token rotation.
+	StateChunkStalls uint64
+	// StateRetransmitRequests counts missing-chunk requests this node
+	// multicast while assembling transfers.
+	StateRetransmitRequests uint64
+	// StateChunksRejected counts received chunks dropped for checksum or
+	// size mismatch against their manifest.
+	StateChunksRejected uint64
 }
 
 // nodeCounters is the backing store for Stats: registry-owned counters, so
@@ -46,6 +63,12 @@ type nodeCounters struct {
 	stateApplied         *obs.Counter
 	promotions           *obs.Counter
 	handshakesReplayed   *obs.Counter
+	stateChunksSent      *obs.Counter
+	stateChunksResent    *obs.Counter
+	stateChunkBytes      *obs.Counter
+	stateChunkStalls     *obs.Counter
+	stateRetransmitReqs  *obs.Counter
+	stateChunksRejected  *obs.Counter
 }
 
 func newNodeCounters(r *obs.Registry) nodeCounters {
@@ -59,20 +82,32 @@ func newNodeCounters(r *obs.Registry) nodeCounters {
 		stateApplied:         r.Counter("eternal_state_applied_total", "set_state() assignments performed"),
 		promotions:           r.Counter("eternal_promotions_total", "backup-to-primary promotions"),
 		handshakesReplayed:   r.Counter("eternal_handshakes_replayed_total", "handshake injections into recovered ORBs"),
+		stateChunksSent:      r.Counter("eternal_state_chunks_sent_total", "state chunks multicast as donor (first transmissions)"),
+		stateChunksResent:    r.Counter("eternal_state_chunks_resent_total", "state chunks re-multicast on retransmit requests"),
+		stateChunkBytes:      r.Counter("eternal_state_chunk_bytes_total", "payload bytes across sent and resent state chunks"),
+		stateChunkStalls:     r.Counter("eternal_state_chunk_stalls_total", "transfer-streamer waits for the next token rotation"),
+		stateRetransmitReqs:  r.Counter("eternal_state_retransmit_requests_total", "missing-chunk requests multicast while assembling"),
+		stateChunksRejected:  r.Counter("eternal_state_chunks_rejected_total", "received chunks dropped for checksum or size mismatch"),
 	}
 }
 
 func (c *nodeCounters) snapshot() Stats {
 	return Stats{
-		RequestsExecuted:     c.requestsExecuted.Value(),
-		RequestsLogged:       c.requestsLogged.Value(),
-		DuplicatesSuppressed: c.duplicatesSuppressed.Value(),
-		RepliesDelivered:     c.repliesDelivered.Value(),
-		DuplicateReplies:     c.duplicateReplies.Value(),
-		StateCaptures:        c.stateCaptures.Value(),
-		StateApplied:         c.stateApplied.Value(),
-		Promotions:           c.promotions.Value(),
-		HandshakesReplayed:   c.handshakesReplayed.Value(),
+		RequestsExecuted:        c.requestsExecuted.Value(),
+		RequestsLogged:          c.requestsLogged.Value(),
+		DuplicatesSuppressed:    c.duplicatesSuppressed.Value(),
+		RepliesDelivered:        c.repliesDelivered.Value(),
+		DuplicateReplies:        c.duplicateReplies.Value(),
+		StateCaptures:           c.stateCaptures.Value(),
+		StateApplied:            c.stateApplied.Value(),
+		Promotions:              c.promotions.Value(),
+		HandshakesReplayed:      c.handshakesReplayed.Value(),
+		StateChunksSent:         c.stateChunksSent.Value(),
+		StateChunksResent:       c.stateChunksResent.Value(),
+		StateChunkBytes:         c.stateChunkBytes.Value(),
+		StateChunkStalls:        c.stateChunkStalls.Value(),
+		StateRetransmitRequests: c.stateRetransmitReqs.Value(),
+		StateChunksRejected:     c.stateChunksRejected.Value(),
 	}
 }
 

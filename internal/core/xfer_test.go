@@ -1,0 +1,386 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"eternal/internal/anyval"
+	"eternal/internal/cdr"
+	"eternal/internal/ftcorba"
+	"eternal/internal/obs"
+	"eternal/internal/orb"
+	"eternal/internal/replication"
+	"eternal/internal/simnet"
+	"eternal/internal/totem"
+)
+
+// blobReplica carries a byte-blob state of configurable size plus an
+// invocation counter, so recovery correctness (the counter survives) and
+// transfer size (the blob forces chunking) are tested together.
+type blobReplica struct {
+	mu    sync.Mutex
+	state []byte
+	n     uint64
+}
+
+func newBlobReplica(size int) *blobReplica {
+	st := make([]byte, size)
+	for i := range st {
+		st[i] = byte(i*7 ^ (i >> 8 * 31))
+	}
+	return &blobReplica{state: st}
+}
+
+func (b *blobReplica) Invoke(op string, args []byte, order cdr.ByteOrder) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch op {
+	case "ping":
+		b.n++
+		e := cdr.NewEncoder(order)
+		e.WriteULongLong(b.n)
+		return e.Bytes(), nil
+	default:
+		return nil, orb.BadOperation()
+	}
+}
+
+func (b *blobReplica) GetState() (anyval.Any, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteULongLong(b.n)
+	e.WriteOctetSeq(b.state)
+	return anyval.FromBytes(e.Bytes()), nil
+}
+
+func (b *blobReplica) SetState(st anyval.Any) error {
+	raw, err := st.Bytes()
+	if err != nil {
+		return ftcorba.ErrInvalidState
+	}
+	d := cdr.NewDecoder(raw, cdr.BigEndian)
+	n, err := d.ReadULongLong()
+	if err != nil {
+		return ftcorba.ErrInvalidState
+	}
+	state, err := d.ReadOctetSeq()
+	if err != nil {
+		return ftcorba.ErrInvalidState
+	}
+	b.mu.Lock()
+	b.n, b.state = n, state
+	b.mu.Unlock()
+	return nil
+}
+
+// newXferCluster is newTestCluster with per-node config control and a
+// Blob factory of the given state size registered alongside Counter.
+func newXferCluster(t *testing.T, blobSize int, mod func(*Config), addrs ...string) *testCluster {
+	t.Helper()
+	c := &testCluster{t: t, net: simnet.New(simnet.Config{}), nodes: make(map[string]*Node)}
+	for _, a := range addrs {
+		ep, err := c.net.Join(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Transport:   totem.NewSimnetTransport(ep),
+			Totem:       fastTotem(),
+			ManagerTick: 10 * time.Millisecond,
+		}
+		if mod != nil {
+			mod(&cfg)
+		}
+		n, err := Start(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.RegisterFactory("Counter", func(oid string) ftcorba.Replica { return &counter{} })
+		n.RegisterFactory("Blob", func(oid string) ftcorba.Replica { return newBlobReplica(blobSize) })
+		c.nodes[a] = n
+	}
+	for _, a := range addrs {
+		if err := c.nodes[a].AwaitSynced(10 * time.Second); err != nil {
+			t.Fatalf("%s: AwaitSynced: %v", a, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, n := range c.nodes {
+			n.Stop()
+		}
+	})
+	return c
+}
+
+func ping(t *testing.T, obj *orb.ObjectRef) uint64 {
+	t.Helper()
+	out, err := obj.Invoke("ping", nil)
+	if err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	d := cdr.NewDecoder(out, cdr.BigEndian)
+	v, err := d.ReadULongLong()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func createBlobGroup(t *testing.T, c *testCluster, name string, minReplicas int, nodes ...string) {
+	t.Helper()
+	err := c.nodes[nodes[0]].CreateGroup(replication.GroupSpec{
+		Name: name, TypeName: "Blob",
+		Props: ftcorba.Properties{
+			Style:           ftcorba.Active,
+			InitialReplicas: len(nodes),
+			MinReplicas:     minReplicas,
+		},
+		Nodes: nodes,
+	}, 10*time.Second)
+	if err != nil {
+		t.Fatalf("CreateGroup(%s): %v", name, err)
+	}
+}
+
+// TestChunkedRecoveryLargeState runs the full chunked pipeline: a state
+// big enough to split into many chunks streams to a recovering replica,
+// which must then carry the live counter forward on its own.
+func TestChunkedRecoveryLargeState(t *testing.T) {
+	c := newXferCluster(t, 20<<10, func(cfg *Config) {
+		cfg.StateChunkBytes = 2048
+	}, "n1", "n2")
+	createBlobGroup(t, c, "blob", 1, "n1", "n2")
+	obj := c.client("n1", "driver", "blob")
+	for i := uint64(1); i <= 3; i++ {
+		if got := ping(t, obj); got != i {
+			t.Fatalf("ping = %d, want %d", got, i)
+		}
+	}
+	if err := c.nodes["n2"].KillReplica("blob", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.nodes["n2"].RecoverReplica("blob", 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := c.nodes["n1"].Stats()
+	if st.StateChunksSent < 10 {
+		t.Fatalf("donor sent %d chunks, expected ≥ 10 for a 20 KiB state at 2 KiB/chunk", st.StateChunksSent)
+	}
+	if st.StateChunkBytes < 20<<10 {
+		t.Fatalf("donor counted %d chunk bytes", st.StateChunkBytes)
+	}
+	// Remove the donor so only the recovered replica answers: the counter
+	// continuing proves the assembled state was applied.
+	if err := c.nodes["n1"].KillReplica("blob", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := ping(t, obj); got != 4 {
+		t.Fatalf("ping after failover = %d, want 4", got)
+	}
+}
+
+// TestChunkLossRetransmit drops one streamed chunk on the recovering
+// node; the manifest must flag it missing and a retransmit-by-index must
+// complete the assembly.
+func TestChunkLossRetransmit(t *testing.T) {
+	c := newXferCluster(t, 16<<10, func(cfg *Config) {
+		cfg.StateChunkBytes = 2048
+	}, "n1", "n2")
+	createBlobGroup(t, c, "blob", 1, "n1", "n2")
+	obj := c.client("n1", "driver", "blob")
+	ping(t, obj)
+	if err := c.nodes["n2"].KillReplica("blob", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var dropped sync.Once
+	var didDrop bool
+	c.nodes["n2"].setChunkHook(func(env *replication.Envelope) bool {
+		keep := true
+		if env.OpID == 1 {
+			dropped.Do(func() { keep = false; didDrop = true })
+		}
+		return keep
+	})
+	if err := c.nodes["n2"].RecoverReplica("blob", 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !didDrop {
+		t.Fatal("hook never dropped a chunk (transfer not chunked?)")
+	}
+	if st := c.nodes["n2"].Stats(); st.StateRetransmitRequests < 1 {
+		t.Fatalf("recovering node sent %d retransmit requests, want ≥ 1", st.StateRetransmitRequests)
+	}
+	if st := c.nodes["n1"].Stats(); st.StateChunksResent < 1 {
+		t.Fatalf("donor resent %d chunks, want ≥ 1", st.StateChunksResent)
+	}
+	if err := c.nodes["n1"].KillReplica("blob", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := ping(t, obj); got != 2 {
+		t.Fatalf("ping after failover = %d, want 2", got)
+	}
+}
+
+// TestChunkChecksumMismatch corrupts one streamed chunk in flight; the
+// manifest's checksum must reject it and a retransmission must cure it.
+func TestChunkChecksumMismatch(t *testing.T) {
+	c := newXferCluster(t, 16<<10, func(cfg *Config) {
+		cfg.StateChunkBytes = 2048
+	}, "n1", "n2")
+	createBlobGroup(t, c, "blob", 1, "n1", "n2")
+	obj := c.client("n1", "driver", "blob")
+	ping(t, obj)
+	if err := c.nodes["n2"].KillReplica("blob", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var corrupt sync.Once
+	c.nodes["n2"].setChunkHook(func(env *replication.Envelope) bool {
+		if env.OpID == 2 {
+			corrupt.Do(func() { env.Payload[5] ^= 0xFF })
+		}
+		return true
+	})
+	if err := c.nodes["n2"].RecoverReplica("blob", 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.nodes["n2"].Stats(); st.StateChunksRejected < 1 {
+		t.Fatalf("rejected %d chunks, want ≥ 1", st.StateChunksRejected)
+	}
+	if err := c.nodes["n1"].KillReplica("blob", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := ping(t, obj); got != 2 {
+		t.Fatalf("ping after failover = %d, want 2", got)
+	}
+}
+
+// TestMidTransferRestart starves a transfer of every chunk: the receiver
+// must exhaust its retransmit budget, abandon the transfer, remove its
+// half-cured replica, and recover cleanly under a fresh transfer id
+// launched by the Resource Manager.
+func TestMidTransferRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out the full retransmit budget (~2s) twice")
+	}
+	c := newXferCluster(t, 16<<10, func(cfg *Config) {
+		cfg.StateChunkBytes = 2048
+	}, "n1", "n2")
+	// MinReplicas == 2 so the Resource Manager relaunches the replica
+	// both after the kill and after the abandoned transfer.
+	createBlobGroup(t, c, "blob", 2, "n1", "n2")
+	obj := c.client("n1", "driver", "blob")
+	ping(t, obj)
+
+	var mu sync.Mutex
+	var firstXfer uint64
+	c.nodes["n2"].setChunkHook(func(env *replication.Envelope) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstXfer == 0 {
+			firstXfer = env.XferID
+		}
+		return env.XferID != firstXfer // starve the first transfer only
+	})
+	if err := c.nodes["n2"].KillReplica("blob", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Abort takes xferMaxRetries × xferRetryInterval ≈ 2s, then the
+	// Resource Manager re-adds and the second transfer flows.
+	if err := c.nodes["n2"].AwaitRecovered("blob", "n2", 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	starved := firstXfer
+	mu.Unlock()
+	aborted := false
+	for _, ev := range c.nodes["n2"].Events(0, 0) {
+		if ev.Type == obs.EventStateAbort && ev.Group == "blob" && ev.XferID == starved {
+			aborted = true
+		}
+	}
+	if !aborted {
+		t.Fatal("no state-abort event for the starved transfer")
+	}
+	if err := c.nodes["n1"].KillReplica("blob", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := ping(t, obj); got != 2 {
+		t.Fatalf("ping after failover = %d, want 2", got)
+	}
+}
+
+// TestCheckpointEveryN drives a warm-passive group whose time-based
+// checkpoint interval would never fire within the test; the every-N
+// message trigger alone must schedule checkpoints.
+func TestCheckpointEveryN(t *testing.T) {
+	c := newXferCluster(t, 0, nil, "n1", "n2")
+	err := c.nodes["n1"].CreateGroup(replication.GroupSpec{
+		Name: "ctr", TypeName: "Counter",
+		Props: ftcorba.Properties{
+			Style:              ftcorba.WarmPassive,
+			InitialReplicas:    2,
+			MinReplicas:        1,
+			CheckpointInterval: time.Hour, // never fires here
+			CheckpointEveryN:   5,
+		},
+		Nodes: []string{"n1", "n2"},
+	}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := c.client("n1", "driver", "ctr")
+	countCkpts := func() int {
+		ckpts := 0
+		for _, ev := range c.nodes["n2"].Events(0, 0) {
+			if ev.Type == obs.EventCheckpoint && ev.Group == "ctr" {
+				ckpts++
+			}
+		}
+		return ckpts
+	}
+	// The count trigger is polled by the manager sweep, so each batch of
+	// CheckpointEveryN invocations must be given a few ticks to be noticed
+	// before the next batch lands.
+	deadline := time.Now().Add(10 * time.Second)
+	invoked := 0
+	for countCkpts() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d checkpoints after %d invocations with CheckpointEveryN=5",
+				countCkpts(), invoked)
+		}
+		for i := 0; i < 5; i++ {
+			add(t, obj, 1)
+			invoked++
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// The backup's log must have been truncated by those checkpoints.
+	logGCs := 0
+	for _, ev := range c.nodes["n2"].Events(0, 0) {
+		if ev.Type == obs.EventLogGC && ev.Group == "ctr" {
+			logGCs++
+		}
+	}
+	if logGCs == 0 {
+		t.Fatal("backup log never garbage-collected")
+	}
+}
+
+// TestSyncSelfDeclareConfigurable verifies the cold-start self-declare
+// delay is honored: a lone node with a long delay still synchronizes via
+// the alone-in-domain path, and a tiny delay keeps tests fast after a
+// partition-style resync (smoke check on the config plumbing).
+func TestSyncSelfDeclareConfigurable(t *testing.T) {
+	c := newXferCluster(t, 0, func(cfg *Config) {
+		cfg.SyncSelfDeclare = 50 * time.Millisecond
+	}, "solo")
+	if c.nodes["solo"].cfg.SyncSelfDeclare != 50*time.Millisecond {
+		t.Fatal("SyncSelfDeclare not plumbed")
+	}
+	// Default still applies when unset.
+	if n2 := newXferCluster(t, 0, nil, "other"); n2.nodes["other"].cfg.SyncSelfDeclare != 750*time.Millisecond {
+		t.Fatal("default SyncSelfDeclare wrong")
+	}
+}

@@ -72,6 +72,14 @@ const (
 	// EventLogGC (local): a checkpoint truncated the recovery log (Value:
 	// messages subsumed).
 	EventLogGC = "log-gc"
+	// EventStateNak (local): this node requested retransmission of state
+	// chunks missing at (or after) a transfer's manifest (Value: missing
+	// chunk count).
+	EventStateNak = "state-nak"
+	// EventStateAbort (local): this node abandoned an incomplete chunked
+	// transfer after exhausting retransmit attempts (Value: chunks still
+	// missing).
+	EventStateAbort = "state-abort"
 )
 
 // Event is one flight-recorder entry.

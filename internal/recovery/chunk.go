@@ -1,0 +1,275 @@
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"eternal/internal/cdr"
+)
+
+// DefaultChunkBytes is the default bound on one state chunk's payload.
+// ~32 KiB keeps a chunk to a couple dozen MTU fragments, small enough
+// that foreground traffic interleaves between chunks on the token ring.
+const DefaultChunkBytes = 32 * 1024
+
+// ErrBadManifest reports an undecodable or inconsistent manifest.
+var ErrBadManifest = errors.New("recovery: bad manifest")
+
+// ErrChunkMismatch reports a chunk whose checksum or size disagrees with
+// the transfer's manifest.
+var ErrChunkMismatch = errors.New("recovery: chunk mismatch")
+
+// SplitChunks slices an encoded bundle into consecutive chunks of at most
+// chunkBytes each (the last chunk may be shorter). chunkBytes <= 0 selects
+// DefaultChunkBytes. The returned sub-slices alias enc; they are not
+// copies.
+func SplitChunks(enc []byte, chunkBytes int) [][]byte {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	if len(enc) == 0 {
+		return nil
+	}
+	chunks := make([][]byte, 0, (len(enc)+chunkBytes-1)/chunkBytes)
+	for off := 0; off < len(enc); off += chunkBytes {
+		end := off + chunkBytes
+		if end > len(enc) {
+			end = len(enc)
+		}
+		chunks = append(chunks, enc[off:end])
+	}
+	return chunks
+}
+
+// Manifest describes one chunked state transfer: how the encoded bundle
+// was split and a CRC-32 (IEEE) checksum per chunk. Its delivery position
+// in the total order is the transfer's sync point — the same role the
+// monolithic set_state played — so it carries everything a receiver needs
+// to validate the chunks that streamed ahead of it.
+type Manifest struct {
+	// TotalBytes is the length of the encoded bundle.
+	TotalBytes uint64
+	// ChunkBytes is the split size; every chunk except the last is exactly
+	// this long.
+	ChunkBytes uint32
+	// Checksums holds crc32.ChecksumIEEE of each chunk, in order. Its
+	// length is the chunk count.
+	Checksums []uint32
+}
+
+// NewManifest builds the manifest describing chunks as produced by
+// SplitChunks(enc, chunkBytes).
+func NewManifest(enc []byte, chunks [][]byte, chunkBytes int) *Manifest {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	m := &Manifest{
+		TotalBytes: uint64(len(enc)),
+		ChunkBytes: uint32(chunkBytes),
+		Checksums:  make([]uint32, len(chunks)),
+	}
+	for i, c := range chunks {
+		m.Checksums[i] = crc32.ChecksumIEEE(c)
+	}
+	return m
+}
+
+// Count reports the number of chunks in the transfer.
+func (m *Manifest) Count() int { return len(m.Checksums) }
+
+// Encode serializes the manifest.
+func (m *Manifest) Encode() []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteULongLong(m.TotalBytes)
+	e.WriteULong(m.ChunkBytes)
+	e.WriteULong(uint32(len(m.Checksums)))
+	for _, c := range m.Checksums {
+		e.WriteULong(c)
+	}
+	return e.Bytes()
+}
+
+// DecodeManifest parses a serialized manifest and sanity-checks its
+// internal consistency (chunk count × chunk size must cover TotalBytes).
+func DecodeManifest(buf []byte) (*Manifest, error) {
+	d := cdr.NewDecoder(buf, cdr.BigEndian)
+	var m Manifest
+	var err error
+	if m.TotalBytes, err = d.ReadULongLong(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadManifest, err)
+	}
+	if m.ChunkBytes, err = d.ReadULong(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadManifest, err)
+	}
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadManifest, err)
+	}
+	if n > 1<<24 { // 16M chunks ≈ 512 GiB at the default size: reject garbage
+		return nil, fmt.Errorf("%w: absurd chunk count %d", ErrBadManifest, n)
+	}
+	m.Checksums = make([]uint32, n)
+	for i := range m.Checksums {
+		if m.Checksums[i], err = d.ReadULong(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadManifest, err)
+		}
+	}
+	if m.ChunkBytes == 0 && m.TotalBytes != 0 {
+		return nil, fmt.Errorf("%w: zero chunk size for %d bytes", ErrBadManifest, m.TotalBytes)
+	}
+	if m.TotalBytes > 0 {
+		want := (m.TotalBytes + uint64(m.ChunkBytes) - 1) / uint64(m.ChunkBytes)
+		if want != uint64(n) {
+			return nil, fmt.Errorf("%w: %d checksums for %d bytes at %d/chunk (want %d)",
+				ErrBadManifest, n, m.TotalBytes, m.ChunkBytes, want)
+		}
+	} else if n != 0 {
+		return nil, fmt.Errorf("%w: %d checksums for empty transfer", ErrBadManifest, n)
+	}
+	return &m, nil
+}
+
+// Assembly reassembles a chunked transfer on the receiving side. Chunks
+// may arrive before the manifest (the normal streaming order): they are
+// held unverified until SetManifest checks them. Chunks arriving after
+// the manifest (retransmissions) are verified immediately.
+//
+// Assembly is confined to the owning node's delivery goroutine.
+type Assembly struct {
+	chunks   [][]byte
+	manifest *Manifest
+}
+
+// NewAssembly creates an empty assembly.
+func NewAssembly() *Assembly { return &Assembly{} }
+
+// AddChunk stores one chunk by index. Before the manifest is known any
+// index is accepted provisionally. After the manifest, out-of-range
+// indexes and checksum/size mismatches are rejected with an error and the
+// stored state is unchanged.
+func (a *Assembly) AddChunk(idx int, payload []byte) error {
+	if idx < 0 {
+		return fmt.Errorf("%w: negative index %d", ErrChunkMismatch, idx)
+	}
+	if a.manifest != nil {
+		if idx >= a.manifest.Count() {
+			return fmt.Errorf("%w: index %d of %d", ErrChunkMismatch, idx, a.manifest.Count())
+		}
+		if err := a.manifest.verifyChunk(idx, payload); err != nil {
+			return err
+		}
+	}
+	for idx >= len(a.chunks) {
+		a.chunks = append(a.chunks, nil)
+	}
+	a.chunks[idx] = payload
+	return nil
+}
+
+// verifyChunk checks one chunk's size and checksum against the manifest.
+func (m *Manifest) verifyChunk(idx int, payload []byte) error {
+	want := uint64(m.ChunkBytes)
+	if idx == m.Count()-1 { // last chunk carries the remainder
+		if rem := m.TotalBytes % uint64(m.ChunkBytes); rem != 0 {
+			want = rem
+		}
+	}
+	if uint64(len(payload)) != want {
+		return fmt.Errorf("%w: chunk %d is %d bytes, want %d",
+			ErrChunkMismatch, idx, len(payload), want)
+	}
+	if sum := crc32.ChecksumIEEE(payload); sum != m.Checksums[idx] {
+		return fmt.Errorf("%w: chunk %d checksum %08x, want %08x",
+			ErrChunkMismatch, idx, sum, m.Checksums[idx])
+	}
+	return nil
+}
+
+// SetManifest installs the transfer's manifest, verifies every chunk held
+// so far, and drops any that fail (they become missing, to be
+// retransmitted). It returns the indexes still missing, and the count of
+// held chunks it dropped for checksum/size mismatch.
+func (a *Assembly) SetManifest(m *Manifest) (missing []uint32, dropped int) {
+	a.manifest = m
+	if len(a.chunks) > m.Count() {
+		for i := m.Count(); i < len(a.chunks); i++ {
+			if a.chunks[i] != nil {
+				dropped++
+			}
+		}
+		a.chunks = a.chunks[:m.Count()]
+	}
+	for i, c := range a.chunks {
+		if c == nil {
+			continue
+		}
+		if err := m.verifyChunk(i, c); err != nil {
+			a.chunks[i] = nil
+			dropped++
+		}
+	}
+	return a.Missing(), dropped
+}
+
+// Manifest returns the installed manifest, or nil before SetManifest.
+func (a *Assembly) Manifest() *Manifest { return a.manifest }
+
+// Missing lists the chunk indexes not yet held, in order. It is only
+// meaningful after SetManifest.
+func (a *Assembly) Missing() []uint32 {
+	if a.manifest == nil {
+		return nil
+	}
+	var missing []uint32
+	for i := 0; i < a.manifest.Count(); i++ {
+		if i >= len(a.chunks) || a.chunks[i] == nil {
+			missing = append(missing, uint32(i))
+		}
+	}
+	return missing
+}
+
+// Complete reports whether the manifest is known and every chunk is held.
+func (a *Assembly) Complete() bool {
+	return a.manifest != nil && len(a.Missing()) == 0
+}
+
+// Bytes concatenates the chunks into the encoded bundle. It must only be
+// called when Complete() is true.
+func (a *Assembly) Bytes() []byte {
+	out := make([]byte, 0, a.manifest.TotalBytes)
+	for _, c := range a.chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// EncodeIndexList serializes a retransmit request's chunk-index list.
+func EncodeIndexList(idx []uint32) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteULong(uint32(len(idx)))
+	for _, i := range idx {
+		e.WriteULong(i)
+	}
+	return e.Bytes()
+}
+
+// DecodeIndexList parses a retransmit request's chunk-index list.
+func DecodeIndexList(buf []byte) ([]uint32, error) {
+	d := cdr.NewDecoder(buf, cdr.BigEndian)
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadManifest, err)
+	}
+	if n > 1<<24 {
+		return nil, fmt.Errorf("%w: absurd index count %d", ErrBadManifest, n)
+	}
+	idx := make([]uint32, n)
+	for i := range idx {
+		if idx[i], err = d.ReadULong(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadManifest, err)
+		}
+	}
+	return idx, nil
+}

@@ -1,8 +1,12 @@
 package recovery
 
 import (
+	"sync/atomic"
+	"time"
+
 	"eternal/internal/obs"
 	"eternal/internal/replication"
+	"eternal/internal/ring"
 )
 
 // Log is the per-group checkpoint-and-message log of paper §3.3: Eternal
@@ -15,16 +19,30 @@ import (
 // checkpoint; under cold passive replication it is all there is — the
 // replica itself is not instantiated until promotion.
 //
-// Log is confined to the owning node's delivery goroutine and is not safe
-// for concurrent use.
+// Log is confined to the owning replica's dispatcher goroutine, except
+// for the checkpoint-scheduling fields (sinceCkpt, lastCkptNanos), which
+// are atomics so the node's delivery loop can poll CheckpointDue without
+// synchronizing with the dispatcher.
 type Log struct {
 	checkpoint    []byte // encoded Bundle; nil until the first checkpoint
 	hasCheckpoint bool
-	msgs          []*replication.Envelope
+	msgs          ring.Buffer[*replication.Envelope]
 	// totalLogged counts messages ever appended (across GCs).
 	totalLogged uint64
 	// gcRuns counts checkpoint overwrites.
 	gcRuns uint64
+
+	// sinceCkpt counts ordered messages handled since the last checkpoint
+	// was scheduled: appends on a backup, executions on the primary
+	// (NoteExecuted). lastCkptNanos is when the last checkpoint was
+	// scheduled, in wall-clock nanoseconds.
+	sinceCkpt     atomic.Uint64
+	lastCkptNanos atomic.Int64
+	// everyN / maxAgeNanos are the incremental-checkpoint policy: schedule
+	// a new checkpoint after everyN messages or maxAge elapsed, whichever
+	// first. Zero disables that trigger.
+	everyN      uint64
+	maxAgeNanos int64
 
 	// rec, when set, receives a flight-recorder event per checkpoint
 	// overwrite (the §3.3 log GC); group names the owning object group.
@@ -44,39 +62,89 @@ func (l *Log) Instrument(rec *obs.Recorder, group string) {
 	l.group = group
 }
 
+// SetPolicy configures incremental checkpointing: a checkpoint becomes
+// due after everyN messages (0 = no count trigger) or maxAge since the
+// last one (0 = no age trigger). The clock starts at now.
+func (l *Log) SetPolicy(everyN int, maxAge time.Duration, now time.Time) {
+	if everyN < 0 {
+		everyN = 0
+	}
+	l.everyN = uint64(everyN)
+	l.maxAgeNanos = int64(maxAge)
+	l.lastCkptNanos.Store(now.UnixNano())
+}
+
+// NoteExecuted counts one ordered message toward the checkpoint policy
+// without logging it — the primary executes messages instead of logging
+// them, but its execution count still drives the every-N trigger.
+func (l *Log) NoteExecuted() { l.sinceCkpt.Add(1) }
+
+// NoteCheckpoint records that a checkpoint was scheduled at now, resetting
+// both policy triggers. Call it when the KCheckpoint marker is multicast,
+// not when the state arrives, so a slow capture doesn't double-trigger.
+func (l *Log) NoteCheckpoint(now time.Time) {
+	l.sinceCkpt.Store(0)
+	l.lastCkptNanos.Store(now.UnixNano())
+}
+
+// CheckpointDue reports whether the policy calls for a new checkpoint at
+// now. Safe to call from any goroutine.
+func (l *Log) CheckpointDue(now time.Time) bool {
+	if l.everyN > 0 && l.sinceCkpt.Load() >= l.everyN {
+		return true
+	}
+	if l.maxAgeNanos > 0 && now.UnixNano()-l.lastCkptNanos.Load() >= l.maxAgeNanos {
+		return true
+	}
+	return false
+}
+
 // Append logs one ordered message (a KRequest delivered after the last
 // checkpoint).
 func (l *Log) Append(env *replication.Envelope) {
-	l.msgs = append(l.msgs, env)
+	l.msgs.Push(env)
 	l.totalLogged++
+	l.sinceCkpt.Add(1)
 }
 
 // SetCheckpoint records a new checkpoint, overwriting the previous one
 // and discarding the messages it subsumes (paper §3.3's log GC).
 func (l *Log) SetCheckpoint(bundle []byte) {
-	l.TruncateTo(bundle, len(l.msgs))
+	l.TruncateTo(bundle, l.msgs.Len())
 }
 
 // TruncateTo records a new checkpoint that subsumes only the first
 // keepFrom logged messages: the tail (messages ordered after the
 // checkpoint's capture point but logged before the checkpoint's delivery)
 // survives, because the paper's log holds "the ordered messages that
-// follow that checkpoint" — follow the capture, not the delivery.
+// follow that checkpoint" — follow the capture, not the delivery. The
+// subsumed head is popped from the ring, which zeroes the vacated slots
+// so the envelopes are not retained.
 func (l *Log) TruncateTo(bundle []byte, keepFrom int) {
 	l.checkpoint = append([]byte(nil), bundle...)
 	l.hasCheckpoint = true
-	if keepFrom > len(l.msgs) {
-		keepFrom = len(l.msgs)
+	if keepFrom > l.msgs.Len() {
+		keepFrom = l.msgs.Len()
 	}
-	if keepFrom < 0 {
-		keepFrom = 0
+	for i := 0; i < keepFrom; i++ {
+		l.msgs.Pop()
 	}
-	l.msgs = append([]*replication.Envelope(nil), l.msgs[keepFrom:]...)
 	l.gcRuns++
 	if l.rec != nil {
 		l.rec.Record(obs.Event{
 			Type: obs.EventLogGC, Group: l.group, Value: int64(keepFrom),
 		})
+	}
+}
+
+// Reset returns the log to its empty state in place (used when a promoted
+// backup's log has been consumed). The Log pointer stays valid for
+// concurrent CheckpointDue pollers.
+func (l *Log) Reset() {
+	l.checkpoint = nil
+	l.hasCheckpoint = false
+	for l.msgs.Len() > 0 {
+		l.msgs.Pop()
 	}
 }
 
@@ -86,14 +154,24 @@ func (l *Log) Checkpoint() ([]byte, bool) {
 	return l.checkpoint, l.hasCheckpoint
 }
 
-// Messages returns the ordered messages logged since the last checkpoint.
-// The returned slice is owned by the log; callers must not mutate it.
+// Each calls f on the ordered messages logged since the last checkpoint,
+// oldest first — the allocation-free replay iterator. f must not mutate
+// the log.
+func (l *Log) Each(f func(*replication.Envelope)) {
+	l.msgs.Each(func(p **replication.Envelope) { f(*p) })
+}
+
+// Messages returns a copy of the ordered messages logged since the last
+// checkpoint. Prefer Each on the replay path; this accessor is for tests
+// and inspection.
 func (l *Log) Messages() []*replication.Envelope {
-	return l.msgs
+	out := make([]*replication.Envelope, 0, l.msgs.Len())
+	l.Each(func(e *replication.Envelope) { out = append(out, e) })
+	return out
 }
 
 // Len reports the number of logged messages since the last checkpoint.
-func (l *Log) Len() int { return len(l.msgs) }
+func (l *Log) Len() int { return l.msgs.Len() }
 
 // Stats reports lifetime counters: messages ever logged and checkpoint
 // overwrites performed.

@@ -47,6 +47,22 @@ const (
 	// KSyncState carries the table snapshot taken at the matching
 	// KSyncRequest's position.
 	KSyncState Kind = 9
+	// KStateChunk carries one bounded slice of an encoded state bundle,
+	// streamed ahead of its KStateManifest and interleaved with
+	// foreground traffic. OpID is the chunk index within the transfer
+	// XferID; Node is the donor.
+	KStateChunk Kind = 10
+	// KStateManifest is the chunked transfer's sync point: it closes the
+	// transfer XferID at one position in the total order (the role the
+	// monolithic KSetState played) and carries the manifest — chunk
+	// count, chunk size, and per-chunk checksums — the receiver uses to
+	// validate and assemble the streamed chunks.
+	KStateManifest Kind = 11
+	// KStateRetransmit asks the donor (or any node holding the transfer
+	// cached) to re-multicast the listed chunk indexes of transfer
+	// XferID. Node is the requester; the payload is an encoded index
+	// list.
+	KStateRetransmit Kind = 12
 )
 
 var kindNames = map[Kind]string{
@@ -54,6 +70,8 @@ var kindNames = map[Kind]string{
 	KRemoveMember: "RemoveMember", KAddMember: "AddMember",
 	KSetState: "SetState", KCheckpoint: "Checkpoint",
 	KSyncRequest: "SyncRequest", KSyncState: "SyncState",
+	KStateChunk: "StateChunk", KStateManifest: "StateManifest",
+	KStateRetransmit: "StateRetransmit",
 }
 
 // String names the kind.

@@ -31,6 +31,7 @@ func EncodeSpec(s *GroupSpec) []byte {
 	e.WriteULong(uint32(s.Props.InitialReplicas))
 	e.WriteULong(uint32(s.Props.MinReplicas))
 	e.WriteULongLong(uint64(s.Props.CheckpointInterval))
+	e.WriteULong(uint32(s.Props.CheckpointEveryN))
 	e.WriteULongLong(uint64(s.Props.FaultMonitoringInterval))
 	e.WriteULong(uint32(len(s.Nodes)))
 	for _, n := range s.Nodes {
@@ -69,6 +70,11 @@ func DecodeSpec(buf []byte) (*GroupSpec, error) {
 	if err != nil {
 		return nil, err
 	}
+	cn, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	s.Props.CheckpointEveryN = int(cn)
 	fi, err := d.ReadULongLong()
 	if err != nil {
 		return nil, err

@@ -437,6 +437,12 @@ func (p *Processor) Stats() Stats {
 	}
 }
 
+// PendingChunks reports the current depth of this member's sequencing
+// queue: chunks submitted locally and not yet multicast on a token visit.
+// Zero means everything this member submitted has reached the wire — the
+// self-clocking signal the state-transfer streamer paces on.
+func (p *Processor) PendingChunks() int64 { return p.mPending.Value() }
+
 // Multicast submits one application message for reliable totally-ordered
 // delivery to all ring members (including the sender). The payload is
 // fragmented into MTU-sized chunks transparently; delivery is whole

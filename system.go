@@ -28,6 +28,15 @@ type SystemConfig struct {
 	ReplyTimeout time.Duration
 	// ManagerTick is the resource-manager/checkpoint scheduler period.
 	ManagerTick time.Duration
+	// SyncSelfDeclare is the cold-start self-declaration delay of a node
+	// whose metadata sync request goes unanswered (default 750ms).
+	SyncSelfDeclare time.Duration
+	// StateChunkBytes bounds one state-transfer chunk (0 = default
+	// ~32 KiB; negative disables chunking — monolithic set_state).
+	StateChunkBytes int
+	// StateChunksPerToken caps state-chunk multicasts per token rotation
+	// during a transfer (default 2).
+	StateChunksPerToken int
 	// DefaultTimeout bounds the System's administrative operations
 	// (default 30s).
 	DefaultTimeout time.Duration
@@ -81,10 +90,13 @@ func (s *System) startNode(addr string) (*core.Node, error) {
 		return nil, err
 	}
 	n, err := core.Start(core.Config{
-		Transport:    totem.NewSimnetTransport(ep),
-		Totem:        s.cfg.Totem,
-		ReplyTimeout: s.cfg.ReplyTimeout,
-		ManagerTick:  s.cfg.ManagerTick,
+		Transport:           totem.NewSimnetTransport(ep),
+		Totem:               s.cfg.Totem,
+		ReplyTimeout:        s.cfg.ReplyTimeout,
+		ManagerTick:         s.cfg.ManagerTick,
+		SyncSelfDeclare:     s.cfg.SyncSelfDeclare,
+		StateChunkBytes:     s.cfg.StateChunkBytes,
+		StateChunksPerToken: s.cfg.StateChunksPerToken,
 	})
 	if err != nil {
 		return nil, err
