@@ -80,10 +80,17 @@ func main() {
 	n := flag.Int("n", 2000, "invocations per configuration")
 	jsonPath := flag.String("json", "", "also write the results as JSON to this file (e.g. BENCH_overhead.json)")
 	recoveryJSON := flag.String("recovery-json", "", "run the E8 recovery sweep (foreground latency during chunked vs monolithic state transfer) and write it to this file (e.g. BENCH_5.json)")
+	spansJSON := flag.String("spans-json", "", "run the span phase-attribution bench (where the microseconds of a 2-way active invocation go) and write it to this file (e.g. BENCH_6.json)")
+	maxSpanOverhead := flag.Float64("max-span-overhead-pct", 5,
+		"fail the -spans-json run if span recording costs more than this percent of sustained inv/s")
 	flag.Parse()
 
 	if *recoveryJSON != "" {
 		runRecoverySweep(*recoveryJSON)
+		return
+	}
+	if *spansJSON != "" {
+		runSpanBench(*spansJSON, *n, *maxSpanOverhead)
 		return
 	}
 
@@ -358,6 +365,212 @@ func benchEternal(n, replicas int) configRow {
 		Invocation:    quantilesOf(reg, "eternal_invocation_seconds"),
 		McastDelivery: quantilesOf(reg, "eternal_totem_mcast_delivery_seconds"),
 	}
+}
+
+// rotationSummary condenses one node's token-rotation profile for
+// BENCH_6.json.
+type rotationSummary struct {
+	Node         string  `json:"node"`
+	Samples      int     `json:"samples"`
+	IntervalP50  float64 `json:"interval_p50_us"`
+	HoldP50      float64 `json:"hold_p50_us"`
+	RetransTotal float64 `json:"retrans_total_us"`
+	SendTotal    float64 `json:"send_total_us"`
+	ChunksSent   int     `json:"chunks_sent"`
+}
+
+// newSpanSystem starts a 2-node domain for the span bench with the given
+// span-journal capacity (negative disables recording — the baseline).
+func newSpanSystem(spanCapacity int) (*eternal.System, []string) {
+	nodes := []string{"n1", "n2"}
+	sys, err := eternal.NewSystem(eternal.SystemConfig{
+		Nodes: nodes,
+		Network: simnet.Config{
+			BandwidthBps: 100_000_000,
+			Latency:      50 * time.Microsecond,
+		},
+		Totem: totem.Config{
+			TokenLossTimeout: 200 * time.Millisecond,
+			JoinInterval:     10 * time.Millisecond,
+			StableFor:        20 * time.Millisecond,
+			Tick:             time.Millisecond,
+		},
+		ManagerTick:    5 * time.Millisecond,
+		SpanCapacity:   spanCapacity,
+		DefaultTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.RegisterFactory("Null", func(oid string) eternal.Replica { return nullServant{} })
+	if err := sys.CreateGroup(eternal.GroupSpec{
+		Name: "null", TypeName: "Null",
+		Props: eternal.Properties{Style: eternal.Active, InitialReplicas: 2, MinReplicas: 1},
+		Nodes: nodes,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	return sys, nodes
+}
+
+// spanRate drives n invocations from `clients` concurrent clients against
+// a 2-way active group and reports the aggregate rate.
+func spanRate(n, clients, spanCapacity int) float64 {
+	sys, nodes := newSpanSystem(spanCapacity)
+	defer sys.Shutdown()
+	objs := make([]*eternal.ObjectRef, clients)
+	for i := range objs {
+		cl, err := sys.Client(nodes[i%len(nodes)], fmt.Sprintf("driver%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cl.Close()
+		if objs[i], err = cl.Resolve("null"); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := objs[i].Invoke("ping", nil); err != nil { // warm up
+			log.Fatal(err)
+		}
+	}
+	start := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for _, obj := range objs {
+		wg.Add(1)
+		go func(obj *eternal.ObjectRef) {
+			defer wg.Done()
+			for next.Add(1) <= int64(n) {
+				if _, err := obj.Invoke("ping", nil); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(obj)
+	}
+	wg.Wait()
+	return float64(n) / time.Since(start).Seconds()
+}
+
+// bestRate takes the best of `runs` sustained-rate measurements — the
+// minimum-interference estimate, which makes the on/off comparison far
+// less sensitive to scheduler noise than single runs.
+func bestRate(runs, n, clients, spanCapacity int) float64 {
+	best := 0.0
+	for i := 0; i < runs; i++ {
+		if r := spanRate(n, clients, spanCapacity); r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+// runSpanBench is the -spans-json mode: phase attribution of a 2-way
+// active invocation from the merged causal spans, the span layer's
+// sustained-throughput overhead against a spans-disabled baseline, and
+// the token-rotation profile. Fails (non-zero exit) when attribution
+// covers less than 90% of the end-to-end p50 or the overhead exceeds
+// maxOverheadPct — the CI gate on the span hot path.
+func runSpanBench(path string, n int, maxOverheadPct float64) {
+	// Phase attribution: n traced invocations, then every node's span
+	// journal merged by trace id.
+	sys, nodes := newSpanSystem(n + 1024)
+	cl, err := sys.Client(nodes[0], "driver")
+	if err != nil {
+		log.Fatal(err)
+	}
+	obj, err := cl.Resolve("null")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 50; i++ { // warm up
+		obj.Invoke("ping", nil)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := obj.Invoke("ping", nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// The server-side spans on n2 never see a local reply delivery; they
+	// journal on the idle sweep Spans() performs. Let them go idle first.
+	time.Sleep(300 * time.Millisecond)
+	spans := make(map[string][]eternal.Span)
+	var rotations []rotationSummary
+	for _, nd := range nodes {
+		node := sys.Node(nd)
+		spans[nd] = node.Spans(0, 0)
+		rotations = append(rotations, summarizeRotations(nd, node.TokenRotations(0)))
+	}
+	traces := eternal.MergeSpans(spans)
+	att := eternal.AttributePhases(traces)
+	cl.Close()
+	sys.Shutdown()
+
+	fmt.Printf("span phase attribution — 2-way active, %d complete trace(s) of %d merged\n", att.Traces, len(traces))
+	fmt.Printf("  %-18s %6s %10s %10s %10s\n", "phase", "count", "p50(µs)", "p95(µs)", "p99(µs)")
+	for _, st := range att.Phases {
+		fmt.Printf("  %-18s %6d %10.1f %10.1f %10.1f\n", st.Phase, st.Count, st.P50Us, st.P95Us, st.P99Us)
+	}
+	fmt.Printf("  %-18s %6d %10.1f %10.1f %10.1f\n", "end-to-end",
+		att.EndToEnd.Count, att.EndToEnd.P50Us, att.EndToEnd.P95Us, att.EndToEnd.P99Us)
+	fmt.Printf("phases account for %.1f%% of end-to-end time\n\n", att.AttributedPct)
+
+	// Overhead: sustained rate with spans recording vs. disabled
+	// (SpanCapacity < 0 — every mark is a nil-receiver no-op).
+	const rateRuns, rateClients = 3, 4
+	rateOn := bestRate(rateRuns, n, rateClients, n+1024)
+	rateOff := bestRate(rateRuns, n, rateClients, -1)
+	overheadPct := (rateOff - rateOn) / rateOff * 100
+	fmt.Printf("span overhead — sustained 2-way active, %d clients, best of %d runs\n", rateClients, rateRuns)
+	fmt.Printf("  spans disabled %10.0f inv/s\n  spans enabled  %10.0f inv/s\n  overhead       %9.1f%% (budget %.1f%%)\n",
+		rateOff, rateOn, overheadPct, maxOverheadPct)
+
+	writeJSON(path, map[string]any{
+		"benchmark":   "e6_span_phase_attribution",
+		"generated":   time.Now().UTC().Format(time.RFC3339),
+		"invocations": n,
+		"attribution": att,
+		"overhead": map[string]any{
+			"clients":              rateClients,
+			"runs":                 rateRuns,
+			"inv_per_sec_spans_on": rateOn, "inv_per_sec_spans_off": rateOff,
+			"overhead_pct":     overheadPct,
+			"max_overhead_pct": maxOverheadPct,
+		},
+		"rotation": rotations,
+	})
+	if att.Traces == 0 {
+		log.Fatal("span bench: no complete traces merged")
+	}
+	if att.AttributedPct < 90 {
+		log.Fatalf("span bench: phases attribute only %.1f%% of the end-to-end p50 (want >= 90%%)", att.AttributedPct)
+	}
+	if overheadPct > maxOverheadPct {
+		log.Fatalf("span bench: span recording costs %.1f%% of sustained inv/s (budget %.1f%%)", overheadPct, maxOverheadPct)
+	}
+}
+
+// summarizeRotations reduces a node's rotation samples to the medians and
+// totals BENCH_6.json reports.
+func summarizeRotations(node string, samples []eternal.TokenRotation) rotationSummary {
+	sum := rotationSummary{Node: node, Samples: len(samples)}
+	if len(samples) == 0 {
+		return sum
+	}
+	med := func(get func(eternal.TokenRotation) float64) float64 {
+		vals := make([]float64, 0, len(samples))
+		for _, s := range samples {
+			vals = append(vals, get(s))
+		}
+		slices.Sort(vals)
+		return vals[len(vals)/2]
+	}
+	sum.IntervalP50 = med(func(s eternal.TokenRotation) float64 { return s.IntervalUs })
+	sum.HoldP50 = med(func(s eternal.TokenRotation) float64 { return s.HoldUs })
+	for _, s := range samples {
+		sum.RetransTotal += s.RetransUs
+		sum.SendTotal += s.SendUs
+		sum.ChunksSent += s.ChunksSent
+	}
+	return sum
 }
 
 // recoveryRow is one configuration of the E8 sweep: foreground invocation

@@ -22,15 +22,31 @@
 // the donor's capture, the set_state that cured it, the invocations
 // buffered in between, and the per-phase durations — the cluster-wide
 // form of the paper's Figure 5.
+//
+// trace scrapes every node's /spans feed and merges the per-node phase
+// spans by trace id. Without an argument it lists the merged traces;
+// with a trace id (hex or decimal) it renders the invocation's
+// cross-node waterfall — every phase timestamp on every node, relative
+// to interception — followed by the chained critical-path segments.
+//
+// critical-path aggregates every complete merged trace into a per-phase
+// latency attribution (p50/p95/p99 per pipeline phase, and the share of
+// the end-to-end p50 the phases account for), plus each node's
+// token-rotation profile: where the token spends its time.
+//
+// Any unreachable node is named on stderr and makes the exit status
+// non-zero; reachable nodes' data is still merged and printed.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -47,8 +63,8 @@ func main() {
 		pageSize = flag.Int("n", 512, "events per page when scraping /events")
 	)
 	flag.Parse()
-	if *nodesArg == "" || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: eternalctl -nodes name=host:port,... [flags] timeline|status|recovery")
+	if *nodesArg == "" || flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: eternalctl -nodes name=host:port,... [flags] timeline|status|recovery|trace [traceid]|critical-path")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -58,21 +74,55 @@ func main() {
 	}
 	client := &http.Client{Timeout: *timeout}
 
+	failed := false
 	switch cmd := flag.Arg(0); cmd {
 	case "timeline":
 		feeds, errs := scrapeFeeds(client, nodes, *since, *pageSize)
-		reportScrapeErrors(errs)
-		m := obs.MergeEvents(feeds)
+		failed = reportScrapeErrors(errs)
+		m := obs.MergeEvents(eventsOf(feeds))
 		printTimeline(os.Stdout, m, *group)
+		printFeedHealth(os.Stdout, feeds)
 	case "status":
-		printStatus(os.Stdout, client, nodes)
+		failed = printStatus(os.Stdout, client, nodes)
 	case "recovery":
 		feeds, errs := scrapeFeeds(client, nodes, *since, *pageSize)
-		reportScrapeErrors(errs)
-		m := obs.MergeEvents(feeds)
+		failed = reportScrapeErrors(errs)
+		m := obs.MergeEvents(eventsOf(feeds))
 		printRecoveries(os.Stdout, m, *group)
+	case "trace":
+		spans, _, errs := scrapeSpans(client, nodes, *pageSize, 0)
+		failed = reportScrapeErrors(errs)
+		traces := obs.MergeSpans(spans)
+		if flag.NArg() < 2 {
+			printTraceList(os.Stdout, traces)
+			break
+		}
+		id, err := parseTraceID(flag.Arg(1))
+		if err != nil {
+			fatal(fmt.Errorf("bad trace id %q: %v", flag.Arg(1), err))
+		}
+		found := false
+		for i := range traces {
+			if traces[i].Trace == id {
+				printTrace(os.Stdout, &traces[i])
+				found = true
+				break
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("trace 0x%x not found in any node's span journal (%d traces scraped)", id, len(traces)))
+		}
+	case "critical-path":
+		spans, rots, errs := scrapeSpans(client, nodes, *pageSize, 256)
+		failed = reportScrapeErrors(errs)
+		traces := obs.MergeSpans(spans)
+		printCriticalPath(os.Stdout, obs.AttributePhases(traces), len(traces))
+		printRotations(os.Stdout, rots)
 	default:
-		fatal(fmt.Errorf("unknown command %q (want timeline, status or recovery)", cmd))
+		fatal(fmt.Errorf("unknown command %q (want timeline, status, recovery, trace or critical-path)", cmd))
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 
@@ -98,67 +148,126 @@ func parseNodes(s string) (map[string]string, error) {
 type eventsPage struct {
 	Node    string      `json:"node"`
 	Dropped uint64      `json:"dropped"`
+	Next    uint64      `json:"next"`
 	Events  []obs.Event `json:"events"`
 }
 
-// fetchEvents drains one node's /events feed, paginating by recorder
-// index until a short page signals the end.
-func fetchEvents(client *http.Client, addr string, since uint64, pageSize int) ([]obs.Event, error) {
+// eventFeed is one node's scraped flight-recorder feed plus its loss
+// accounting: Dropped is the server's lifetime ring-eviction counter;
+// Gap counts events that vanished between pages of this scrape (the
+// ring wrapped while we were reading — the resume cursor jumped).
+type eventFeed struct {
+	Events  []obs.Event
+	Dropped uint64
+	Gap     uint64
+}
+
+// fetchEvents drains one node's /events feed, resuming each page at the
+// server-reported next cursor. A jump between the cursor and the first
+// index of the following page means the ring evicted events mid-scrape;
+// the jump is tallied in Gap rather than silently skipped.
+func fetchEvents(client *http.Client, addr string, since uint64, pageSize int) (eventFeed, error) {
 	if pageSize <= 0 {
 		pageSize = 512
 	}
-	var all []obs.Event
+	var f eventFeed
+	cursor := since
 	for {
-		url := fmt.Sprintf("http://%s/events?since=%d&n=%d", addr, since, pageSize)
+		url := fmt.Sprintf("http://%s/events?since=%d&n=%d", addr, cursor, pageSize)
 		resp, err := client.Get(url)
 		if err != nil {
-			return all, err
+			return f, err
 		}
 		if resp.StatusCode != http.StatusOK {
 			resp.Body.Close()
-			return all, fmt.Errorf("GET %s: %s", url, resp.Status)
+			return f, fmt.Errorf("GET %s: %s", url, resp.Status)
 		}
 		var page eventsPage
 		err = json.NewDecoder(resp.Body).Decode(&page)
 		resp.Body.Close()
 		if err != nil {
-			return all, fmt.Errorf("GET %s: %v", url, err)
+			return f, fmt.Errorf("GET %s: %v", url, err)
 		}
-		all = append(all, page.Events...)
+		f.Dropped = page.Dropped
+		if len(page.Events) == 0 {
+			return f, nil
+		}
+		if first := page.Events[0].Index; cursor > 0 && first > cursor+1 {
+			f.Gap += first - cursor - 1
+		}
+		f.Events = append(f.Events, page.Events...)
+		next := page.Next
+		if next == 0 {
+			// Pre-cursor server: fall back to the last index received.
+			next = page.Events[len(page.Events)-1].Index
+		}
 		if len(page.Events) < pageSize {
-			return all, nil
+			return f, nil
 		}
-		since = page.Events[len(page.Events)-1].Index
+		cursor = next
 	}
 }
 
 // scrapeFeeds fetches every node's feed concurrently. Unreachable nodes
 // are reported in errs and excluded from the merge — a dead node must not
 // hide the survivors' timeline.
-func scrapeFeeds(client *http.Client, nodes map[string]string, since uint64, pageSize int) (map[string][]obs.Event, map[string]error) {
+func scrapeFeeds(client *http.Client, nodes map[string]string, since uint64, pageSize int) (map[string]eventFeed, map[string]error) {
 	var mu sync.Mutex
-	feeds := make(map[string][]obs.Event)
+	feeds := make(map[string]eventFeed)
 	errs := make(map[string]error)
 	var wg sync.WaitGroup
 	for name, addr := range nodes {
 		wg.Add(1)
 		go func(name, addr string) {
 			defer wg.Done()
-			events, err := fetchEvents(client, addr, since, pageSize)
+			feed, err := fetchEvents(client, addr, since, pageSize)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
 				errs[name] = err
 				return
 			}
-			feeds[name] = events
+			feeds[name] = feed
 		}(name, addr)
 	}
 	wg.Wait()
 	return feeds, errs
 }
 
-func reportScrapeErrors(errs map[string]error) {
+// eventsOf strips the loss accounting off scraped feeds for the merge.
+func eventsOf(feeds map[string]eventFeed) map[string][]obs.Event {
+	out := make(map[string][]obs.Event, len(feeds))
+	for name, f := range feeds {
+		out[name] = f.Events
+	}
+	return out
+}
+
+// printFeedHealth surfaces each feed's loss accounting under the
+// timeline: a wrapped ring means the merge saw only a suffix of that
+// node's history.
+func printFeedHealth(w io.Writer, feeds map[string]eventFeed) {
+	names := make([]string, 0, len(feeds))
+	for name := range feeds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := feeds[name]
+		if f.Dropped == 0 && f.Gap == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "note: %s evicted %d event(s) from its ring before this scrape", name, f.Dropped)
+		if f.Gap > 0 {
+			fmt.Fprintf(w, " and %d more mid-scrape", f.Gap)
+		}
+		fmt.Fprintln(w, "; its timeline contribution is a suffix")
+	}
+}
+
+// reportScrapeErrors names every unreachable node on stderr; the caller
+// turns a true return into a non-zero exit status.
+func reportScrapeErrors(errs map[string]error) bool {
 	names := make([]string, 0, len(errs))
 	for name := range errs {
 		names = append(names, name)
@@ -167,6 +276,7 @@ func reportScrapeErrors(errs map[string]error) {
 	for _, name := range names {
 		fmt.Fprintf(os.Stderr, "eternalctl: %s unreachable: %v\n", name, errs[name])
 	}
+	return len(errs) > 0
 }
 
 // entryMatches reports whether a timeline entry concerns the group (an
@@ -176,7 +286,7 @@ func entryMatches(e *obs.TimelineEntry, group string) bool {
 	return group == "" || e.Group == "" || e.Group == group
 }
 
-func printTimeline(w *os.File, m *obs.MergedTimeline, group string) {
+func printTimeline(w io.Writer, m *obs.MergedTimeline, group string) {
 	diverged := make(map[uint64]bool, len(m.Divergences))
 	for _, d := range m.Divergences {
 		diverged[d.Seq] = true
@@ -234,7 +344,7 @@ func printTimeline(w *os.File, m *obs.MergedTimeline, group string) {
 	}
 }
 
-func printRecoveries(w *os.File, m *obs.MergedTimeline, group string) {
+func printRecoveries(w io.Writer, m *obs.MergedTimeline, group string) {
 	reports := m.RecoveryReports()
 	printed := 0
 	for _, r := range reports {
@@ -268,6 +378,256 @@ func printRecoveries(w *os.File, m *obs.MergedTimeline, group string) {
 	}
 }
 
+// spansPage mirrors the /spans response body.
+type spansPage struct {
+	Node      string              `json:"node"`
+	Dropped   uint64              `json:"dropped"`
+	Next      uint64              `json:"next"`
+	Spans     []obs.Span          `json:"spans"`
+	Rotations []obs.TokenRotation `json:"rotations"`
+}
+
+// fetchSpans drains one node's /spans feed (same cursor pagination as
+// /events); rot > 0 also collects the last rot token-rotation samples.
+func fetchSpans(client *http.Client, addr string, pageSize, rot int) ([]obs.Span, []obs.TokenRotation, error) {
+	if pageSize <= 0 {
+		pageSize = 512
+	}
+	var (
+		all       []obs.Span
+		rotations []obs.TokenRotation
+		cursor    uint64
+	)
+	for {
+		url := fmt.Sprintf("http://%s/spans?since=%d&n=%d&rot=%d", addr, cursor, pageSize, rot)
+		resp, err := client.Get(url)
+		if err != nil {
+			return all, rotations, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return all, rotations, fmt.Errorf("GET %s: %s", url, resp.Status)
+		}
+		var page spansPage
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if err != nil {
+			return all, rotations, fmt.Errorf("GET %s: %v", url, err)
+		}
+		if len(page.Rotations) > 0 {
+			rotations = page.Rotations
+		}
+		all = append(all, page.Spans...)
+		if len(page.Spans) < pageSize {
+			return all, rotations, nil
+		}
+		cursor = page.Next
+	}
+}
+
+// scrapeSpans fetches every node's span feed concurrently (and, with
+// rot > 0, its token-rotation samples).
+func scrapeSpans(client *http.Client, nodes map[string]string, pageSize, rot int) (map[string][]obs.Span, map[string][]obs.TokenRotation, map[string]error) {
+	var mu sync.Mutex
+	spans := make(map[string][]obs.Span)
+	rots := make(map[string][]obs.TokenRotation)
+	errs := make(map[string]error)
+	var wg sync.WaitGroup
+	for name, addr := range nodes {
+		wg.Add(1)
+		go func(name, addr string) {
+			defer wg.Done()
+			sp, rt, err := fetchSpans(client, addr, pageSize, rot)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[name] = err
+				return
+			}
+			spans[name] = sp
+			if len(rt) > 0 {
+				rots[name] = rt
+			}
+		}(name, addr)
+	}
+	wg.Wait()
+	return spans, rots, errs
+}
+
+// parseTraceID accepts the hex form the trace listing prints (with or
+// without 0x) and plain decimal.
+func parseTraceID(s string) (uint64, error) {
+	if rest, ok := strings.CutPrefix(strings.ToLower(s), "0x"); ok {
+		return strconv.ParseUint(rest, 16, 64)
+	}
+	if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return v, nil
+	}
+	return strconv.ParseUint(s, 16, 64)
+}
+
+func printTraceList(w io.Writer, traces []obs.MergedTrace) {
+	if len(traces) == 0 {
+		fmt.Fprintln(w, "no spans in any node's journal")
+		return
+	}
+	for i := range traces {
+		mt := &traces[i]
+		status := "partial"
+		if mt.Complete() {
+			status = "complete"
+		}
+		e2e := ""
+		if mt.Complete() {
+			cs := mt.Spans[mt.Client()]
+			e2e = fmt.Sprintf("  %8.1fµs", float64(cs.Phases[obs.SpanReplyDelivered]-cs.Phases[obs.SpanIntercepted])/1e3)
+		}
+		fmt.Fprintf(w, "trace 0x%016x  seq %6d  group=%-10s nodes=[%s]  %s%s\n",
+			mt.Trace, mt.Seq, mt.Group, strings.Join(mt.Nodes, ","), status, e2e)
+	}
+	fmt.Fprintf(w, "%d trace(s); `eternalctl trace <id>` renders one as a waterfall\n", len(traces))
+}
+
+// printTrace renders one merged trace as a cross-node waterfall — every
+// phase timestamp on every node, relative to interception — then the
+// chained critical-path segments.
+func printTrace(w io.Writer, mt *obs.MergedTrace) {
+	status := "partial"
+	if mt.Complete() {
+		status = "complete"
+	}
+	fmt.Fprintf(w, "trace 0x%016x  group=%s  seq=%d  %s\n", mt.Trace, mt.Group, mt.Seq, status)
+	fmt.Fprintf(w, "client=%s executor=%s nodes=[%s]\n",
+		orDash(mt.Client()), orDash(mt.Executor()), strings.Join(mt.Nodes, ","))
+	if mt.SeqDivergent {
+		fmt.Fprintln(w, "** SEQ DIVERGENCE: nodes disagree on the request's total-order position **")
+	}
+	base := mt.Start()
+	total := mt.End() - base
+	if base == 0 {
+		fmt.Fprintln(w, "no phase timestamps recorded")
+		return
+	}
+
+	type mark struct {
+		at    int64
+		node  string
+		phase string
+	}
+	var marks []mark
+	for node, sp := range mt.Spans {
+		for i, ts := range sp.Phases {
+			if ts != 0 {
+				marks = append(marks, mark{ts, node, obs.SpanPhase(i).String()})
+			}
+		}
+	}
+	sort.Slice(marks, func(i, j int) bool {
+		if marks[i].at != marks[j].at {
+			return marks[i].at < marks[j].at
+		}
+		return marks[i].node < marks[j].node
+	})
+	const width = 48
+	fmt.Fprintf(w, "waterfall (offsets from interception, total %.1fµs):\n", float64(total)/1e3)
+	for _, mk := range marks {
+		off := mk.at - base
+		col := 0
+		if total > 0 {
+			col = int(off * (width - 1) / total)
+		}
+		fmt.Fprintf(w, "  %10.1fµs  %-10s %-18s |%s*\n",
+			float64(off)/1e3, mk.node, mk.phase, strings.Repeat(".", col))
+	}
+
+	segs := mt.Segments()
+	if len(segs) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "critical path:")
+	var accounted int64
+	for _, seg := range segs {
+		bar := 0
+		if total > 0 {
+			bar = int(int64(seg.Duration()) * width / total)
+		}
+		fmt.Fprintf(w, "  %-18s %-10s %10.1fµs  %s\n",
+			seg.Phase, seg.Node, float64(seg.Duration().Nanoseconds())/1e3,
+			strings.Repeat("#", bar))
+		accounted += int64(seg.Duration())
+	}
+	if total > 0 {
+		fmt.Fprintf(w, "  segments account for %.1f%% of the trace's span\n",
+			float64(accounted)/float64(total)*100)
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// printCriticalPath renders the workload-level phase attribution.
+func printCriticalPath(w io.Writer, att obs.PhaseAttribution, scraped int) {
+	if att.Traces == 0 {
+		fmt.Fprintf(w, "no complete traces (%d partial trace(s) scraped): run traced invocations first\n", scraped)
+		return
+	}
+	fmt.Fprintf(w, "phase attribution over %d complete trace(s) (%d scraped):\n", att.Traces, scraped)
+	fmt.Fprintf(w, "  %-18s %6s %10s %10s %10s\n", "phase", "count", "p50(µs)", "p95(µs)", "p99(µs)")
+	for _, st := range att.Phases {
+		fmt.Fprintf(w, "  %-18s %6d %10.1f %10.1f %10.1f\n", st.Phase, st.Count, st.P50Us, st.P95Us, st.P99Us)
+	}
+	fmt.Fprintf(w, "  %-18s %6d %10.1f %10.1f %10.1f\n", "end-to-end",
+		att.EndToEnd.Count, att.EndToEnd.P50Us, att.EndToEnd.P95Us, att.EndToEnd.P99Us)
+	fmt.Fprintf(w, "phases account for %.1f%% of end-to-end time\n", att.AttributedPct)
+}
+
+// printRotations summarizes each node's token-rotation profile: how long
+// the token is held, how far apart its visits are, and what the hold
+// time went to (retransmissions vs. draining the pending queue).
+func printRotations(w io.Writer, rots map[string][]obs.TokenRotation) {
+	names := make([]string, 0, len(rots))
+	for name := range rots {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "token-rotation profile (per node, medians over recent samples):")
+	fmt.Fprintf(w, "  %-10s %8s %12s %10s %11s %9s %7s %8s\n",
+		"node", "samples", "interval(µs)", "hold(µs)", "retrans(µs)", "send(µs)", "chunks", "pending")
+	for _, name := range names {
+		samples := rots[name]
+		med := func(get func(obs.TokenRotation) float64) float64 {
+			vals := make([]float64, 0, len(samples))
+			for _, s := range samples {
+				vals = append(vals, get(s))
+			}
+			sort.Float64s(vals)
+			return vals[len(vals)/2]
+		}
+		maxPending := 0
+		chunks := 0
+		for _, s := range samples {
+			if s.PendingBefore > maxPending {
+				maxPending = s.PendingBefore
+			}
+			chunks += s.ChunksSent
+		}
+		fmt.Fprintf(w, "  %-10s %8d %12.1f %10.1f %11.1f %9.1f %7d %8d\n",
+			name, len(samples),
+			med(func(s obs.TokenRotation) float64 { return s.IntervalUs }),
+			med(func(s obs.TokenRotation) float64 { return s.HoldUs }),
+			med(func(s obs.TokenRotation) float64 { return s.RetransUs }),
+			med(func(s obs.TokenRotation) float64 { return s.SendUs }),
+			chunks, maxPending)
+	}
+}
+
 // clusterReport mirrors the /cluster response body.
 type clusterReport struct {
 	Node   string   `json:"node"`
@@ -288,7 +648,7 @@ type clusterReport struct {
 	EventsDropped  uint64 `json:"events_dropped"`
 }
 
-func printStatus(w *os.File, client *http.Client, nodes map[string]string) {
+func printStatus(w io.Writer, client *http.Client, nodes map[string]string) (failed bool) {
 	names := make([]string, 0, len(nodes))
 	for name := range nodes {
 		names = append(names, name)
@@ -298,14 +658,16 @@ func printStatus(w *os.File, client *http.Client, nodes map[string]string) {
 		url := fmt.Sprintf("http://%s/cluster", nodes[name])
 		resp, err := client.Get(url)
 		if err != nil {
-			fmt.Fprintf(w, "%s: unreachable: %v\n", name, err)
+			fmt.Fprintf(os.Stderr, "eternalctl: %s unreachable: %v\n", name, err)
+			failed = true
 			continue
 		}
 		var rep clusterReport
 		err = json.NewDecoder(resp.Body).Decode(&rep)
 		resp.Body.Close()
 		if err != nil {
-			fmt.Fprintf(w, "%s: bad response: %v\n", name, err)
+			fmt.Fprintf(os.Stderr, "eternalctl: %s: bad response: %v\n", name, err)
+			failed = true
 			continue
 		}
 		fmt.Fprintf(w, "%s (%s): synced=%t seq=%d events=%d dropped=%d live=[%s]\n",
@@ -323,4 +685,5 @@ func printStatus(w *os.File, client *http.Client, nodes map[string]string) {
 			fmt.Fprintf(w, "  group %s (%s)%s: %s\n", g.Name, g.Style, hosted, strings.Join(members, " "))
 		}
 	}
+	return failed
 }

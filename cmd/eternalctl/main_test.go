@@ -143,8 +143,8 @@ func TestClusterTimelineAfterRecovery(t *testing.T) {
 	var feeds map[string][]obs.Event
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		var errs map[string]error
-		feeds, errs = scrapeFeeds(client, nodes, 0, 4)
+		raw, errs := scrapeFeeds(client, nodes, 0, 4)
+		feeds = eventsOf(raw)
 		if len(errs) == 0 && len(feeds) == 3 && allHaveSetState(feeds, "ctr") {
 			break
 		}
@@ -203,6 +203,47 @@ func TestClusterTimelineAfterRecovery(t *testing.T) {
 	}
 	if r.Enqueued < 0 {
 		t.Fatalf("recovering node's enqueue count missing from report: %+v", r)
+	}
+
+	// Exercise the `eternalctl trace` path against the same admin servers:
+	// scrape every node's /spans feed (page size 2 forces cursor resumes),
+	// merge by trace id, and render a real invocation's cross-node
+	// waterfall. Remote nodes journal their spans on the 200ms idle sweep,
+	// so poll until a complete 3-node trace shows up.
+	var complete *obs.MergedTrace
+	deadline = time.Now().Add(10 * time.Second)
+	for complete == nil {
+		spans, rots, errs := scrapeSpans(client, nodes, 2, 16)
+		if len(errs) != 0 {
+			t.Fatalf("span scrape failed: %v", errs)
+		}
+		if len(rots) == 0 {
+			t.Fatal("no token-rotation samples in any /spans response")
+		}
+		traces := obs.MergeSpans(spans)
+		for i := range traces {
+			if tr := &traces[i]; tr.Complete() && len(tr.Nodes) == 3 {
+				complete = tr
+				break
+			}
+		}
+		if complete == nil {
+			if time.Now().After(deadline) {
+				t.Fatalf("no complete 3-node trace in the span feeds (%d traces scraped)", len(traces))
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	var buf strings.Builder
+	printTrace(&buf, complete)
+	out := buf.String()
+	for _, want := range []string{
+		"complete", "waterfall", "intercepted", "ordered", "executed",
+		"reply-delivered", "critical path:", "segments account for",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace waterfall missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -17,7 +17,9 @@
 // (Prometheus text), /healthz (membership and roles; 503 until
 // synchronized), /trace (recent message-lifecycle traces), /events (the
 // flight-recorder feed eternalctl merges into a cluster timeline),
-// /cluster (this node's view of every group plus its delivery position)
+// /spans (per-invocation phase spans and the token-rotation profile,
+// the feed behind eternalctl trace and critical-path), /cluster (this
+// node's view of every group plus its delivery position)
 // and /debug/pprof/. The admin server shuts down gracefully on SIGINT or
 // SIGTERM.
 package main
@@ -95,6 +97,8 @@ func main() {
 			"state-transfer chunk size in bytes (0 = default ~32KiB, negative disables chunking)")
 		chunksPerToken = flag.Int("state-chunks-per-token", 0,
 			"state chunks multicast per token rotation during a transfer (0 = default 2)")
+		spanCapacity = flag.Int("span-capacity", 0,
+			"invocation span journal size (0 = default, negative disables span recording)")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -120,6 +124,7 @@ func main() {
 		Transport:           tr,
 		StateChunkBytes:     *chunkBytes,
 		StateChunksPerToken: *chunksPerToken,
+		SpanCapacity:        *spanCapacity,
 	}
 	if *logLevel != "" {
 		level, err := eternal.ParseLogLevel(*logLevel)
@@ -139,7 +144,7 @@ func main() {
 	if *admin != "" {
 		adminSrv = &http.Server{Addr: *admin, Handler: node.AdminHandler()}
 		go func() {
-			log.Printf("admin endpoint on http://%s/ (metrics, healthz, trace, events, cluster, debug/pprof)", *admin)
+			log.Printf("admin endpoint on http://%s/ (metrics, healthz, trace, events, spans, cluster, debug/pprof)", *admin)
 			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("admin endpoint: %v", err)
 			}

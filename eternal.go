@@ -121,6 +121,27 @@ type (
 	// Event is one flight-recorder entry: a membership, recovery or fault
 	// event stamped with its Totem sequence number (Node.Events, /events).
 	Event = obs.Event
+	// Span is one node's phase-timestamp view of one traced invocation
+	// (Node.Spans, /spans).
+	Span = obs.Span
+	// MergedTrace is one invocation's cluster-wide span set, merged by
+	// trace id with the Totem sequence cross-checked (eternalctl trace).
+	MergedTrace = obs.MergedTrace
+	// PhaseAttribution decomposes end-to-end invocation latency into named
+	// pipeline phases with per-phase quantiles (eternalctl critical-path).
+	PhaseAttribution = obs.PhaseAttribution
+	// TokenRotation is one token-visit profile from the totem rotation
+	// profiler: hold time, retransmission service, pending-queue drain.
+	TokenRotation = obs.TokenRotation
+)
+
+// MergeSpans merges per-node span feeds into per-invocation cross-node
+// traces; AttributePhases reduces merged traces to a per-phase latency
+// decomposition. Both are re-exported for eternalctl and the benchmarks.
+var (
+	MergeSpans      = obs.MergeSpans
+	AttributePhases = obs.AttributePhases
+	MergeEvents     = obs.MergeEvents
 )
 
 // ParseLogLevel parses "debug", "info", "warn" or "error" into a

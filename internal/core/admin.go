@@ -18,9 +18,16 @@ import (
 //	/trace    — JSON: the last n message-lifecycle traces (?n=K, default 20)
 //	/events   — JSON: flight-recorder events (?since=<index>&n=K), paginated
 //	          by recorder index for eternalctl's cluster-timeline merge
+//	/spans    — JSON: invocation phase spans (?since=<index>&n=K), paginated
+//	          like /events; ?rot=K appends the last K token-rotation
+//	          profiler samples
 //	/cluster  — JSON: this node's full view of the cluster — the /healthz
 //	          report plus its delivery position and recorder totals
 //	/debug/pprof/ — the standard Go profiling endpoints
+//
+// Every JSON endpoint reports Content-Type: application/json, including
+// error responses, and paginated feeds echo their resume cursor both in
+// the body ("next") and the X-Eternal-Next header.
 //
 // eternald serves it when started with -admin; tests drive it through
 // httptest.
@@ -30,6 +37,7 @@ func (n *Node) AdminHandler() http.Handler {
 	mux.HandleFunc("/healthz", n.serveHealthz)
 	mux.HandleFunc("/trace", n.serveTrace)
 	mux.HandleFunc("/events", n.serveEvents)
+	mux.HandleFunc("/spans", n.serveSpans)
 	mux.HandleFunc("/cluster", n.serveCluster)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -42,6 +50,14 @@ func (n *Node) AdminHandler() http.Handler {
 func (n *Node) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	n.metrics.WritePrometheus(w)
+}
+
+// jsonError reports an error from a JSON endpoint as JSON, keeping the
+// Content-Type consistent so clients can always decode the body.
+func jsonError(w http.ResponseWriter, msg string, code int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
 // healthMember is one group member in the /healthz report.
@@ -138,7 +154,7 @@ func (n *Node) buildHealthReport() healthReport {
 func (n *Node) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 	var rep healthReport
 	if !n.onLoop(func() { rep = n.buildHealthReport() }) {
-		http.Error(w, "node stopped", http.StatusServiceUnavailable)
+		jsonError(w, "node stopped", http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -153,7 +169,7 @@ func (n *Node) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 func (n *Node) serveCluster(w http.ResponseWriter, _ *http.Request) {
 	var rep clusterReport
 	if !n.onLoop(func() { rep.healthReport = n.buildHealthReport() }) {
-		http.Error(w, "node stopped", http.StatusServiceUnavailable)
+		jsonError(w, "node stopped", http.StatusServiceUnavailable)
 		return
 	}
 	rep.Seq = n.lastSeq.Load()
@@ -168,7 +184,7 @@ func (n *Node) serveTrace(w http.ResponseWriter, r *http.Request) {
 	if s := r.URL.Query().Get("n"); s != "" {
 		v, err := strconv.Atoi(s)
 		if err != nil || v < 0 {
-			http.Error(w, "bad n", http.StatusBadRequest)
+			jsonError(w, "bad n", http.StatusBadRequest)
 			return
 		}
 		count = v
@@ -178,40 +194,102 @@ func (n *Node) serveTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 // eventsPage is the /events body: one page of the node's flight-recorder
-// feed. Clients resume with ?since=<index of the last event received>.
+// feed. Clients resume with ?since=<next>: Next is the cursor the next
+// request should pass — the index of the last event in this page, or the
+// request's own cursor when the page is empty — so a reader survives ring
+// wraparound without silently skipping (a gap between its cursor and the
+// first returned index means eviction outran it; Dropped quantifies the
+// loss).
 type eventsPage struct {
 	Node    string      `json:"node"`
 	Dropped uint64      `json:"dropped"`
+	Next    uint64      `json:"next"`
 	Events  []obs.Event `json:"events"`
 }
 
-func (n *Node) serveEvents(w http.ResponseWriter, r *http.Request) {
-	var since uint64
+// pageParams parses the shared ?since / ?n pagination query parameters.
+func pageParams(w http.ResponseWriter, r *http.Request, defCount int) (since uint64, count int, ok bool) {
 	if s := r.URL.Query().Get("since"); s != "" {
 		v, err := strconv.ParseUint(s, 10, 64)
 		if err != nil {
-			http.Error(w, "bad since", http.StatusBadRequest)
-			return
+			jsonError(w, "bad since", http.StatusBadRequest)
+			return 0, 0, false
 		}
 		since = v
 	}
-	count := 256
+	count = defCount
 	if s := r.URL.Query().Get("n"); s != "" {
 		v, err := strconv.Atoi(s)
 		if err != nil || v < 0 {
-			http.Error(w, "bad n", http.StatusBadRequest)
-			return
+			jsonError(w, "bad n", http.StatusBadRequest)
+			return 0, 0, false
 		}
 		count = v
+	}
+	return since, count, true
+}
+
+func (n *Node) serveEvents(w http.ResponseWriter, r *http.Request) {
+	since, count, ok := pageParams(w, r, 256)
+	if !ok {
+		return
 	}
 	page := eventsPage{
 		Node:    n.addr,
 		Dropped: n.recorder.Dropped(),
+		Next:    since,
 		Events:  n.recorder.Since(since, count),
 	}
-	if page.Events == nil {
+	if len(page.Events) > 0 {
+		page.Next = page.Events[len(page.Events)-1].Index
+	} else {
 		page.Events = []obs.Event{}
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Eternal-Next", strconv.FormatUint(page.Next, 10))
+	json.NewEncoder(w).Encode(page)
+}
+
+// spansPage is the /spans body: one page of the node's invocation span
+// journal, paginated exactly like /events, plus (when ?rot=K asks for
+// them) the totem token-rotation profiler's most recent samples.
+type spansPage struct {
+	Node      string              `json:"node"`
+	Dropped   uint64              `json:"dropped"`
+	Next      uint64              `json:"next"`
+	Spans     []obs.Span          `json:"spans"`
+	Rotations []obs.TokenRotation `json:"rotations,omitempty"`
+}
+
+func (n *Node) serveSpans(w http.ResponseWriter, r *http.Request) {
+	since, count, ok := pageParams(w, r, 256)
+	if !ok {
+		return
+	}
+	rot := 0
+	if s := r.URL.Query().Get("rot"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			jsonError(w, "bad rot", http.StatusBadRequest)
+			return
+		}
+		rot = v
+	}
+	page := spansPage{
+		Node:    n.addr,
+		Dropped: n.spans.Dropped(),
+		Next:    since,
+		Spans:   n.Spans(since, count),
+	}
+	if len(page.Spans) > 0 {
+		page.Next = page.Spans[len(page.Spans)-1].Index
+	} else {
+		page.Spans = []obs.Span{}
+	}
+	if rot > 0 {
+		page.Rotations = n.proc.Rotations(rot)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Eternal-Next", strconv.FormatUint(page.Next, 10))
 	json.NewEncoder(w).Encode(page)
 }

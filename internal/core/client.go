@@ -207,6 +207,7 @@ func (ec *egressConn) forwardRequest(msg *giop.Message) {
 	}
 	node := ec.entity.node
 	traceID := node.nextTrace()
+	node.spans.Begin(traceID, ec.id.Group)
 	env := &replication.Envelope{
 		Kind:    replication.KRequest,
 		Group:   ec.id.Group,
@@ -216,6 +217,7 @@ func (ec *egressConn) forwardRequest(msg *giop.Message) {
 		Trace:   traceID,
 		Payload: wire.Marshal(),
 	}
+	node.spans.Mark(traceID, obs.SpanMarshalled)
 	node.tracer.Begin(traceID, ec.id.Group, ec.id.String(), logical)
 	node.tracer.Hop(traceID, node.addr, obs.HopIntercepted)
 	if !env.Oneway {
@@ -258,6 +260,8 @@ func (ce *clientEntity) deliverReply(env *replication.Envelope) {
 	}
 	msg.WriteTo(ec.mech)
 	ce.node.tracer.Hop(env.Trace, ce.node.addr, obs.HopReplyDelivered)
+	ce.node.spans.Mark(env.Trace, obs.SpanReplyDelivered)
+	ce.node.spans.Finish(env.Trace)
 	if start, ok := ce.takeInvocationStart(env.Trace); ok {
 		ce.node.invocationHist.ObserveDuration(time.Since(start))
 	}

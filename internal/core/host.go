@@ -229,6 +229,7 @@ func (h *replicaHost) process(item dispatchItem) {
 	switch item.kind {
 	case itemRequest:
 		h.node.tracer.Hop(item.env.Trace, h.node.addr, obs.HopDelivered)
+		h.node.spans.Mark(item.env.Trace, obs.SpanDelivered)
 		if item.execute {
 			h.executeRequest(item.env, false)
 			if h.style != ftcorba.Active {
@@ -274,6 +275,7 @@ func (h *replicaHost) executeRequest(env *replication.Envelope, force bool) {
 	}
 	if env.Oneway {
 		h.node.tracer.Hop(env.Trace, h.node.addr, obs.HopExecuted)
+		h.node.spans.Mark(env.Trace, obs.SpanExecuted)
 		return
 	}
 	// Bound the wait: a server ORB that discards the request (e.g. an
@@ -289,6 +291,7 @@ func (h *replicaHost) executeRequest(env *replication.Envelope, force bool) {
 			return
 		}
 		if rep.Type == giop.MsgReply {
+			h.node.spans.Mark(env.Trace, obs.SpanExecuted)
 			h.node.multicast(&replication.Envelope{
 				Kind:    replication.KReply,
 				Conn:    env.Conn,

@@ -255,8 +255,9 @@ func (n *Node) reconcile(name string) {
 func (n *Node) handleEnvelope(seq uint64, env *replication.Envelope) {
 	switch env.Kind {
 	case replication.KRequest:
-		n.handleRequest(env)
+		n.handleRequest(seq, env)
 	case replication.KReply:
+		n.spans.MarkOpen(env.Trace, obs.SpanReplyOrdered)
 		if ce := n.clientEntityIfExists(env.Conn.Client); ce != nil {
 			ce.deliverReply(env)
 		}
@@ -291,8 +292,10 @@ func (n *Node) handleEnvelope(seq uint64, env *replication.Envelope) {
 	}
 }
 
-func (n *Node) handleRequest(env *replication.Envelope) {
+func (n *Node) handleRequest(seq uint64, env *replication.Envelope) {
 	n.tracer.Hop(env.Trace, n.addr, obs.HopOrdered)
+	n.spans.Annotate(env.Trace, env.Group)
+	n.spans.MarkSeq(env.Trace, obs.SpanOrdered, seq)
 	g, ok := n.table.Get(env.Group)
 	if !ok {
 		return

@@ -84,6 +84,11 @@ type Config struct {
 	// obs.DefaultEventCapacity). Oldest events are dropped beyond it; the
 	// drop count is exported as eternal_events_dropped_total.
 	EventCapacity int
+	// SpanCapacity bounds the causal span journal (default
+	// obs.DefaultSpanCapacity). Negative disables span recording entirely:
+	// every phase mark becomes a nil-receiver no-op, the configuration the
+	// span-overhead benchmark compares against.
+	SpanCapacity int
 }
 
 // Node is one Eternal processor.
@@ -152,6 +157,7 @@ type Node struct {
 	tracer       *obs.Tracer
 	timelines    *obs.TimelineLog
 	recorder     *obs.Recorder
+	spans        *obs.SpanRecorder // nil when SpanCapacity < 0
 	traceCounter atomic.Uint64
 	// lastSeq is the sequence number of the most recent totem delivery,
 	// the anchor stamped onto local flight-recorder events.
@@ -196,10 +202,15 @@ func Start(cfg Config) (*Node, error) {
 		metrics = obs.NewRegistry()
 	}
 	recorder := obs.NewRecorder(cfg.EventCapacity, cfg.Transport.Addr())
+	var spans *obs.SpanRecorder
+	if cfg.SpanCapacity >= 0 {
+		spans = obs.NewSpanRecorder(cfg.Transport.Addr(), cfg.SpanCapacity)
+	}
 	tc := cfg.Totem
 	tc.Transport = cfg.Transport
 	tc.Metrics = metrics
 	tc.Recorder = recorder
+	tc.Spans = spans
 	proc, err := totem.Start(tc)
 	if err != nil {
 		return nil, err
@@ -225,6 +236,7 @@ func Start(cfg Config) (*Node, error) {
 		faults:     faultdetect.NewNotifier(),
 		metrics:    metrics,
 		tracer:     obs.NewTracer(cfg.TraceCapacity),
+		spans:      spans,
 		timelines:  obs.NewTimelineLog(0),
 		stopCh:     make(chan struct{}),
 		loopDone:   make(chan struct{}),
@@ -239,6 +251,12 @@ func Start(cfg Config) (*Node, error) {
 	metrics.CounterFunc("eternal_events_dropped_total",
 		"flight-recorder events evicted to bound the ring",
 		func() float64 { return float64(recorder.Dropped()) })
+	metrics.CounterFunc("eternal_spans_recorded_total",
+		"invocation spans journalled",
+		func() float64 { return float64(spans.Total()) })
+	metrics.CounterFunc("eternal_spans_dropped_total",
+		"journalled spans evicted to bound the span ring",
+		func() float64 { return float64(spans.Dropped()) })
 	n.invocationHist = metrics.Histogram("eternal_invocation_seconds",
 		"end-to-end invocation latency: interception to reply delivery", nil)
 	n.recoveryCapture = metrics.Histogram("eternal_recovery_capture_seconds",
@@ -592,7 +610,14 @@ func (n *Node) multicast(env *replication.Envelope) {
 	// chunk buffer before returning, so the encoder can be released here.
 	enc := cdr.AcquireEncoder(cdr.BigEndian)
 	env.EncodeTo(enc)
-	_ = n.proc.Multicast(enc.Bytes())
+	if env.Trace != 0 {
+		// Traced invocation traffic: the totem layer stamps the enqueue
+		// and transmit phases onto the trace's span as the message crosses
+		// it (replies onto the mirrored reply phases).
+		_ = n.proc.MulticastTraced(enc.Bytes(), env.Trace, env.Kind == replication.KReply)
+	} else {
+		_ = n.proc.Multicast(enc.Bytes())
+	}
 	cdr.ReleaseEncoder(enc)
 }
 

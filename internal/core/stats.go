@@ -2,6 +2,7 @@ package core
 
 import (
 	"log/slog"
+	"time"
 
 	"eternal/internal/giop"
 	"eternal/internal/interceptor"
@@ -142,6 +143,30 @@ func (n *Node) Events(since uint64, max int) []obs.Event {
 // sequence-stamped membership, recovery and fault events that
 // eternalctl merges into a cluster timeline.
 func (n *Node) Recorder() *obs.Recorder { return n.recorder }
+
+// spanIdleFlush is the idle threshold after which an open span is swept
+// into the journal before a read: server-side spans never see a local
+// reply delivery, so a sweep is the only way they complete.
+const spanIdleFlush = 200 * time.Millisecond
+
+// Spans returns up to max journalled invocation spans with Index > since,
+// oldest first (max <= 0 returns all retained), after sweeping spans idle
+// longer than 200ms out of the active set. Nil when span recording is
+// disabled (Config.SpanCapacity < 0).
+func (n *Node) Spans(since uint64, max int) []obs.Span {
+	n.spans.FlushIdle(spanIdleFlush)
+	return n.spans.Since(since, max)
+}
+
+// SpanRecorder returns the node's span recorder (nil when disabled), for
+// callers that need explicit flush control or totals.
+func (n *Node) SpanRecorder() *obs.SpanRecorder { return n.spans }
+
+// TokenRotations returns up to max recent token-rotation profiler
+// samples from this node's totem processor, oldest first.
+func (n *Node) TokenRotations(max int) []obs.TokenRotation {
+	return n.proc.Rotations(max)
+}
 
 // logger returns the node's structured logger (a discarding logger when
 // none was configured).

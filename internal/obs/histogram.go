@@ -32,6 +32,11 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, updated by CAS
+	// minv/maxv track the observed extremes (float64 bits, CAS): they
+	// bound quantile interpolation, so a coarse bucket whose samples
+	// cluster near one value does not overstate the tails.
+	minv atomic.Uint64
+	maxv atomic.Uint64
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -41,7 +46,10 @@ func newHistogram(bounds []float64) *Histogram {
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	h := &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	h.minv.Store(math.Float64bits(math.Inf(1)))
+	h.maxv.Store(math.Float64bits(math.Inf(-1)))
+	return h
 }
 
 // Observe records one value.
@@ -49,6 +57,18 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: the `le` bucket
 	h.counts[i].Add(1)
 	h.count.Add(1)
+	for {
+		old := h.minv.Load()
+		if v >= math.Float64frombits(old) || h.minv.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxv.Load()
+		if v <= math.Float64frombits(old) || h.maxv.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
 	for {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -77,8 +97,12 @@ func (h *Histogram) snapshot() []uint64 {
 }
 
 // Quantile estimates the q-th quantile (0 < q <= 1) by linear
-// interpolation within the containing bucket. Values in the +Inf bucket
-// report the last finite bound; an empty histogram reports 0.
+// interpolation within the containing bucket, clamped to the observed
+// minimum and maximum so a coarse bucket cannot overstate the estimate
+// beyond any value actually seen (the failure mode: every sample at
+// 344 µs inside a (250 µs, 500 µs] bucket must report ~344 µs, not the
+// interpolated ~497 µs). The +Inf bucket reports the observed maximum;
+// an empty histogram reports 0.
 func (h *Histogram) Quantile(q float64) float64 {
 	counts := h.snapshot()
 	var total uint64
@@ -94,18 +118,47 @@ func (h *Histogram) Quantile(q float64) float64 {
 		next := cum + float64(c)
 		if next >= rank && c > 0 {
 			if i == len(h.bounds) {
-				return h.bounds[len(h.bounds)-1]
+				return h.Max()
 			}
 			lower := 0.0
 			if i > 0 {
 				lower = h.bounds[i-1]
 			}
 			frac := (rank - cum) / float64(c)
-			return lower + frac*(h.bounds[i]-lower)
+			return h.clamp(lower + frac*(h.bounds[i]-lower))
 		}
 		cum = next
 	}
-	return h.bounds[len(h.bounds)-1]
+	return h.Max()
+}
+
+// Min returns the smallest observed value (0 before any observation).
+func (h *Histogram) Min() float64 {
+	v := math.Float64frombits(h.minv.Load())
+	if math.IsInf(v, 1) {
+		return 0
+	}
+	return v
+}
+
+// Max returns the largest observed value (0 before any observation).
+func (h *Histogram) Max() float64 {
+	v := math.Float64frombits(h.maxv.Load())
+	if math.IsInf(v, -1) {
+		return 0
+	}
+	return v
+}
+
+// clamp bounds a quantile estimate by the observed extremes.
+func (h *Histogram) clamp(v float64) float64 {
+	if min := math.Float64frombits(h.minv.Load()); !math.IsInf(min, 1) && v < min {
+		return min
+	}
+	if max := math.Float64frombits(h.maxv.Load()); !math.IsInf(max, -1) && v > max {
+		return max
+	}
+	return v
 }
 
 // Summary is a point-in-time digest of a histogram.

@@ -75,15 +75,45 @@ func TestHistogramQuantiles(t *testing.T) {
 	if p99 < 30 || p99 > 40 {
 		t.Fatalf("p99 = %v, want within (30, 40]", p99)
 	}
-	// Everything beyond the last bound reports the last finite bound.
+	// Everything beyond the last bound reports the observed maximum, not
+	// the last finite bound.
 	h2 := newHistogram([]float64{1})
 	h2.Observe(100)
-	if got := h2.Quantile(0.5); got != 1 {
-		t.Fatalf("overflow quantile = %v, want 1", got)
+	if got := h2.Quantile(0.5); got != 100 {
+		t.Fatalf("overflow quantile = %v, want 100", got)
 	}
 	// Empty histogram.
 	if got := newHistogram(nil).Quantile(0.99); got != 0 {
 		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+}
+
+// TestHistogramQuantileClampedToObserved is the regression test for the
+// coarse-bucket overstatement: when every sample lands on one value deep
+// inside a wide bucket, naive interpolation reports nearly the bucket's
+// upper bound for p99. The estimate must never exceed a value actually
+// observed.
+func TestHistogramQuantileClampedToObserved(t *testing.T) {
+	h := newHistogram(LatencyBuckets) // includes the (2.5e-4, 5e-4] bucket
+	for i := 0; i < 1000; i++ {
+		h.Observe(344e-6) // the BENCH_3 2-way p50, mid-bucket
+	}
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		if got := h.Quantile(q); math.Abs(got-344e-6) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want the observed 344e-6", q, got)
+		}
+	}
+	if h.Min() != 344e-6 || h.Max() != 344e-6 {
+		t.Fatalf("min/max = %v/%v, want 344e-6 both", h.Min(), h.Max())
+	}
+	// Clamping also applies at the low end: samples near a bucket's top
+	// must not be understated below the observed minimum.
+	h2 := newHistogram([]float64{1e-3, 1e-1})
+	for i := 0; i < 100; i++ {
+		h2.Observe(0.099)
+	}
+	if got := h2.Quantile(0.01); got < 0.099 {
+		t.Fatalf("low quantile = %v understates the observed minimum 0.099", got)
 	}
 }
 

@@ -1,0 +1,437 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// SpanPhase indexes one checkpoint of an invocation's life inside a
+// node's span. The phases are laid out in pipeline order: the request
+// path (interception through execution) followed by the reply path. A
+// node records only the phases it participates in — the client's node
+// sees interception, marshalling, its own totem enqueue/transmit and the
+// reply delivery; every group member's node sees ordering and (if it
+// hosts the replica) dispatch, execution and the reply's enqueue.
+type SpanPhase uint8
+
+// Span phases, in pipeline order.
+const (
+	// SpanIntercepted: the client ORB's outgoing request was diverted by
+	// the socket-level interceptor and parsed.
+	SpanIntercepted SpanPhase = iota
+	// SpanMarshalled: the replication envelope was CDR-encoded and handed
+	// to the multicast layer.
+	SpanMarshalled
+	// SpanEnqueued: the totem layer queued the message behind the token
+	// (enqueued→transmitted is the token wait).
+	SpanEnqueued
+	// SpanTransmitted: the message's last fragment left in a data frame
+	// while this node held the token.
+	SpanTransmitted
+	// SpanOrdered: the envelope came off the delivery stream at its
+	// agreed position in the total order.
+	SpanOrdered
+	// SpanDelivered: the replica's serial dispatcher picked the item up
+	// (ordered→delivered is the dispatch-queue wait).
+	SpanDelivered
+	// SpanExecuted: the replica performed the invocation; its reply (if
+	// any) is about to be multicast.
+	SpanExecuted
+	// SpanReplyEnqueued: the reply envelope was queued behind the token
+	// on the executing node.
+	SpanReplyEnqueued
+	// SpanReplyTransmitted: the reply's last fragment left in a data
+	// frame.
+	SpanReplyTransmitted
+	// SpanReplyOrdered: the reply came off the delivery stream on the
+	// client's node.
+	SpanReplyOrdered
+	// SpanReplyDelivered: the (first) reply was written into the client
+	// ORB's connection — the end of the invocation.
+	SpanReplyDelivered
+
+	// NumSpanPhases sizes the per-span phase array.
+	NumSpanPhases
+)
+
+var spanPhaseNames = [NumSpanPhases]string{
+	"intercepted", "marshalled", "enqueued", "transmitted",
+	"ordered", "delivered", "executed",
+	"reply-enqueued", "reply-transmitted", "reply-ordered", "reply-delivered",
+}
+
+// String names the phase.
+func (p SpanPhase) String() string {
+	if p < NumSpanPhases {
+		return spanPhaseNames[p]
+	}
+	return "unknown"
+}
+
+// Span is one node's view of one invocation: a fixed array of phase
+// timestamps (unix nanoseconds; 0 = not recorded here) accumulated as
+// the traced envelope crosses the node's layers. The fixed layout keeps
+// recording allocation-free: marking a phase is a map lookup and an
+// int64 store.
+type Span struct {
+	// Index is the journal pagination cursor (contiguous, from 1),
+	// assigned when the span is journalled.
+	Index uint64
+	// Trace is the envelope trace id the span rides.
+	Trace uint64
+	// Node is the recording node.
+	Node string
+	// Group is the target object group (client's node only — the
+	// executing side learns it too, from the envelope).
+	Group string
+	// Seq is the request envelope's position in the total order (0
+	// until ordered). All nodes must agree on it — the span merge
+	// cross-checks.
+	Seq uint64
+	// Phases holds the unix-nanosecond timestamp of each phase's first
+	// occurrence (0 = phase not recorded on this node).
+	Phases [NumSpanPhases]int64
+}
+
+// Start is the earliest recorded phase timestamp (0 if none).
+func (s *Span) Start() int64 {
+	for _, ts := range s.Phases {
+		if ts != 0 {
+			return ts
+		}
+	}
+	return 0
+}
+
+// End is the latest recorded phase timestamp (0 if none).
+func (s *Span) End() int64 {
+	var max int64
+	for _, ts := range s.Phases {
+		if ts > max {
+			max = ts
+		}
+	}
+	return max
+}
+
+// spanJSON is the wire shape: phases as a name→nanos map so the feed is
+// self-describing (absent phases are omitted).
+type spanJSON struct {
+	Index  uint64           `json:"index"`
+	Trace  uint64           `json:"trace"`
+	Node   string           `json:"node,omitempty"`
+	Group  string           `json:"group,omitempty"`
+	Seq    uint64           `json:"seq,omitempty"`
+	Phases map[string]int64 `json:"phases"`
+}
+
+// MarshalJSON renders the phase array as a named map.
+func (s Span) MarshalJSON() ([]byte, error) {
+	phases := make(map[string]int64, NumSpanPhases)
+	for i, ts := range s.Phases {
+		if ts != 0 {
+			phases[spanPhaseNames[i]] = ts
+		}
+	}
+	return json.Marshal(spanJSON{
+		Index: s.Index, Trace: s.Trace, Node: s.Node,
+		Group: s.Group, Seq: s.Seq, Phases: phases,
+	})
+}
+
+// UnmarshalJSON parses the named-map shape back into the fixed array.
+func (s *Span) UnmarshalJSON(data []byte) error {
+	var sj spanJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		return err
+	}
+	*s = Span{Index: sj.Index, Trace: sj.Trace, Node: sj.Node, Group: sj.Group, Seq: sj.Seq}
+	for i, name := range spanPhaseNames {
+		if ts, ok := sj.Phases[name]; ok {
+			s.Phases[i] = ts
+		}
+	}
+	return nil
+}
+
+// DefaultSpanCapacity bounds a span recorder's journal when no capacity
+// is given.
+const DefaultSpanCapacity = 1024
+
+// SpanRecorder accumulates per-invocation phase spans on one node. Open
+// spans live in a bounded active set keyed by trace id; Finish (or
+// FlushIdle, for server-side spans that never see the reply delivered
+// locally) moves them into a preallocated journal ring paginated by a
+// contiguous index, exactly like the flight recorder's event feed.
+//
+// The hot path — Mark — is allocation-free: a mutex, a map lookup and an
+// int64 store. Span structs are pooled, so steady-state recording does
+// not allocate at all. Trace id 0 is the "untraced" sentinel and is
+// ignored, as is a nil recorder, so uninstrumented paths cost nothing.
+type SpanRecorder struct {
+	node string
+
+	mu      sync.Mutex
+	active  map[uint64]*Span
+	order   []uint64 // active-set creation order, oldest first
+	journal []Span   // ring, preallocated
+	next    uint64   // next journal index to assign (starts at 1)
+	head    int      // ring position of the oldest journalled span
+	n       int      // journalled spans currently retained
+	dropped uint64
+	pool    sync.Pool
+}
+
+// NewSpanRecorder creates a recorder journalling up to capacity spans
+// (DefaultSpanCapacity when capacity <= 0), each annotated with the
+// node's name.
+func NewSpanRecorder(node string, capacity int) *SpanRecorder {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	r := &SpanRecorder{
+		node:    node,
+		active:  make(map[uint64]*Span),
+		journal: make([]Span, capacity),
+		next:    1,
+	}
+	r.pool.New = func() any { return new(Span) }
+	return r
+}
+
+// Node returns the recording node's name.
+func (r *SpanRecorder) Node() string {
+	if r == nil {
+		return ""
+	}
+	return r.node
+}
+
+// Begin opens (or annotates) the span for a trace and stamps the
+// interception phase. The client's node calls it; executing nodes never
+// do — their Marks auto-create.
+func (r *SpanRecorder) Begin(trace uint64, group string) {
+	if r == nil || trace == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	r.mu.Lock()
+	sp := r.get(trace)
+	sp.Group = group
+	if sp.Phases[SpanIntercepted] == 0 {
+		sp.Phases[SpanIntercepted] = now
+	}
+	r.mu.Unlock()
+}
+
+// Annotate sets the span's group without stamping any phase: executing
+// nodes learn the group from the delivered envelope, not from an
+// interception of their own.
+func (r *SpanRecorder) Annotate(trace uint64, group string) {
+	if r == nil || trace == 0 {
+		return
+	}
+	r.mu.Lock()
+	sp := r.get(trace)
+	if sp.Group == "" {
+		sp.Group = group
+	}
+	r.mu.Unlock()
+}
+
+// Mark stamps a phase on the trace's span (first occurrence wins),
+// creating the span if this node has not seen the trace before.
+func (r *SpanRecorder) Mark(trace uint64, phase SpanPhase) {
+	if r == nil || trace == 0 || phase >= NumSpanPhases {
+		return
+	}
+	now := time.Now().UnixNano()
+	r.mu.Lock()
+	sp := r.get(trace)
+	if sp.Phases[phase] == 0 {
+		sp.Phases[phase] = now
+	}
+	r.mu.Unlock()
+}
+
+// MarkOpen stamps a phase only if the trace's span is still open. The
+// reply-ordering path uses it: with active replication every replica
+// multicasts a reply, and a duplicate reply ordered after the client's
+// span finished must not re-create an empty fragment span (which would
+// evict a real span from the journal ring).
+func (r *SpanRecorder) MarkOpen(trace uint64, phase SpanPhase) {
+	if r == nil || trace == 0 || phase >= NumSpanPhases {
+		return
+	}
+	now := time.Now().UnixNano()
+	r.mu.Lock()
+	if sp, ok := r.active[trace]; ok && sp.Phases[phase] == 0 {
+		sp.Phases[phase] = now
+	}
+	r.mu.Unlock()
+}
+
+// MarkSeq is Mark plus the request's agreed position in the total order
+// (first ordering wins; the merge cross-checks seq across nodes).
+func (r *SpanRecorder) MarkSeq(trace uint64, phase SpanPhase, seq uint64) {
+	if r == nil || trace == 0 || phase >= NumSpanPhases {
+		return
+	}
+	now := time.Now().UnixNano()
+	r.mu.Lock()
+	sp := r.get(trace)
+	if sp.Phases[phase] == 0 {
+		sp.Phases[phase] = now
+	}
+	if sp.Seq == 0 {
+		sp.Seq = seq
+	}
+	r.mu.Unlock()
+}
+
+// Finish closes the trace's span and journals it. The client's node
+// calls it at reply delivery; spans the node only participated in are
+// swept by FlushIdle instead.
+func (r *SpanRecorder) Finish(trace uint64) {
+	if r == nil || trace == 0 {
+		return
+	}
+	r.mu.Lock()
+	if sp, ok := r.active[trace]; ok {
+		r.removeActive(trace)
+		r.journalSpan(sp)
+	}
+	r.mu.Unlock()
+}
+
+// FlushIdle journals every active span whose latest phase mark is older
+// than idle. Server-side spans (ordering, dispatch, execution) never see
+// a local reply delivery, so the /spans endpoint sweeps them out with a
+// small idle threshold before reading the journal.
+func (r *SpanRecorder) FlushIdle(idle time.Duration) {
+	if r == nil {
+		return
+	}
+	cutoff := time.Now().Add(-idle).UnixNano()
+	r.mu.Lock()
+	for i := 0; i < len(r.order); {
+		trace := r.order[i]
+		sp := r.active[trace]
+		if sp.End() < cutoff {
+			r.removeActive(trace)
+			r.journalSpan(sp)
+			continue // order shifted left; same i is the next entry
+		}
+		i++
+	}
+	r.mu.Unlock()
+}
+
+// get returns the active span for trace, creating (and, over capacity,
+// evicting the oldest open span into the journal) under the held lock.
+func (r *SpanRecorder) get(trace uint64) *Span {
+	if sp, ok := r.active[trace]; ok {
+		return sp
+	}
+	sp := r.pool.Get().(*Span)
+	*sp = Span{Trace: trace, Node: r.node}
+	r.active[trace] = sp
+	r.order = append(r.order, trace)
+	for len(r.order) > len(r.journal) {
+		oldest := r.order[0]
+		old := r.active[oldest]
+		r.removeActive(oldest)
+		r.journalSpan(old)
+	}
+	return sp
+}
+
+// removeActive unlinks a trace from the active set under the held lock.
+func (r *SpanRecorder) removeActive(trace uint64) {
+	delete(r.active, trace)
+	for i, id := range r.order {
+		if id == trace {
+			copy(r.order[i:], r.order[i+1:])
+			r.order = r.order[:len(r.order)-1]
+			return
+		}
+	}
+}
+
+// journalSpan assigns the next index, copies the span into the ring and
+// returns the struct to the pool, under the held lock.
+func (r *SpanRecorder) journalSpan(sp *Span) {
+	sp.Index = r.next
+	r.next++
+	if r.n == len(r.journal) {
+		r.head = (r.head + 1) % len(r.journal)
+		r.n--
+		r.dropped++
+	}
+	r.journal[(r.head+r.n)%len(r.journal)] = *sp
+	r.n++
+	r.pool.Put(sp)
+}
+
+// Since returns up to max journalled spans with Index > after, oldest
+// first. It mirrors the flight recorder's pagination: indexes are
+// contiguous, so a reader resuming at the reported next index can detect
+// entries dropped by ring eviction.
+func (r *SpanRecorder) Since(after uint64, max int) []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		return nil
+	}
+	first := r.next - uint64(r.n) // index of the oldest retained span
+	skip := 0
+	if after >= first {
+		skip = int(after - first + 1)
+	}
+	if skip >= r.n {
+		return nil
+	}
+	count := r.n - skip
+	if max > 0 && count > max {
+		count = max
+	}
+	out := make([]Span, count)
+	for i := 0; i < count; i++ {
+		out[i] = r.journal[(r.head+skip+i)%len(r.journal)]
+	}
+	return out
+}
+
+// Total reports how many spans were ever journalled.
+func (r *SpanRecorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next - 1
+}
+
+// Dropped reports how many journalled spans ring eviction discarded.
+func (r *SpanRecorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Open reports how many spans are still accumulating phases.
+func (r *SpanRecorder) Open() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.order)
+}

@@ -194,6 +194,13 @@ type Config struct {
 	// losses and the other membership-reformation triggers, each anchored
 	// to the processor's last delivered sequence number. Nil disables.
 	Recorder *obs.Recorder
+	// Spans receives per-invocation phase marks for traced multicasts
+	// (enqueued behind the token, last fragment transmitted). Nil
+	// disables; untraced multicasts never touch it either way.
+	Spans *obs.SpanRecorder
+	// RotationCapacity bounds the token-rotation profiler's sample ring
+	// (default obs.DefaultRotationCapacity; negative disables profiling).
+	RotationCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -266,7 +273,7 @@ type Processor struct {
 	tr   Transport
 	addr string
 
-	submitCh  chan [][]byte // pre-fragmented chunks of one message
+	submitCh  chan submission
 	closeCh   chan struct{}
 	closeOnce sync.Once
 	done      chan struct{}
@@ -335,9 +342,33 @@ type Processor struct {
 	// messages (submit to agreed-order delivery, the full token-ring
 	// ordering cost).
 	mLatency *obs.Histogram
-	// sendTimes records the submit time of locally originated messages by
-	// msgID; owned by the run goroutine.
-	sendTimes map[uint64]time.Time
+	// mTokenHold/mTokenInterval are the rotation profiler's histograms:
+	// how long this node holds each token visit, and the full-rotation
+	// interval between visits.
+	mTokenHold     *obs.Histogram
+	mTokenInterval *obs.Histogram
+	// rotations is the token-rotation profiler's bounded sample ring
+	// (nil when disabled).
+	rotations *obs.RotationLog
+	// sendTimes records the submit metadata of locally originated
+	// messages by msgID; owned by the run goroutine.
+	sendTimes map[uint64]sendMeta
+}
+
+// submission is one application message queued for the run goroutine:
+// its pre-fragmented chunks plus the span-tracing metadata.
+type submission struct {
+	chunks [][]byte
+	trace  uint64
+	reply  bool
+}
+
+// sendMeta is what the processor remembers about a locally originated
+// message between submission and self-delivery.
+type sendMeta struct {
+	at    time.Time
+	trace uint64
+	reply bool
 }
 
 // Start creates a processor on the given transport and begins gathering
@@ -358,7 +389,7 @@ func Start(cfg Config) (*Processor, error) {
 		cfg:        cfg,
 		tr:         cfg.Transport,
 		addr:       addr,
-		submitCh:   make(chan [][]byte, 256),
+		submitCh:   make(chan submission, 256),
 		closeCh:    make(chan struct{}),
 		done:       make(chan struct{}),
 		deliveries: newPump[Delivery](),
@@ -367,8 +398,11 @@ func Start(cfg Config) (*Processor, error) {
 		reasm:      make(map[string]*partial),
 		miss:       make(map[uint64]int),
 		joinInfo:   make(map[string]joinRecord),
-		sendTimes:  make(map[uint64]time.Time),
+		sendTimes:  make(map[uint64]sendMeta),
 		packing:    cfg.Packing.Enabled(),
+	}
+	if cfg.RotationCapacity >= 0 {
+		p.rotations = obs.NewRotationLog(cfg.RotationCapacity)
 	}
 	p.registerMetrics(cfg.Metrics)
 	go p.run()
@@ -387,6 +421,8 @@ func (p *Processor) registerMetrics(r *obs.Registry) {
 	p.mBytesOut = r.Counter("eternal_totem_bytes_out_total", "transport bytes sent")
 	p.mPending = r.Gauge("eternal_totem_sequencer_queue_depth", "chunks enqueued and awaiting a token visit for sequencing")
 	p.mLatency = r.Histogram("eternal_totem_mcast_delivery_seconds", "multicast submit to agreed-order delivery latency of own messages", nil)
+	p.mTokenHold = r.Histogram("eternal_totem_token_hold_seconds", "time this node held each token visit (retransmission service + pending-queue drain)", nil)
+	p.mTokenInterval = r.Histogram("eternal_totem_token_interval_seconds", "full-rotation interval between this node's token visits", nil)
 	for _, c := range []struct {
 		name, help string
 		v          *atomic.Uint64
@@ -448,6 +484,14 @@ func (p *Processor) PendingChunks() int64 { return p.mPending.Value() }
 // fragmented into MTU-sized chunks transparently; delivery is whole
 // messages. Multicast may block briefly when the submit queue is full.
 func (p *Processor) Multicast(payload []byte) error {
+	return p.MulticastTraced(payload, 0, false)
+}
+
+// MulticastTraced is Multicast carrying span-tracing metadata: the
+// message's envelope trace id (0 = untraced) and whether it is a reply,
+// so the configured span recorder can stamp the enqueue and transmit
+// phases under the right name.
+func (p *Processor) MulticastTraced(payload []byte, trace uint64, reply bool) error {
 	chunkSize := p.tr.MTU() - fragMargin - len(p.addr)
 	// One defensive copy of the whole payload; chunks are subslices of it
 	// rather than per-chunk allocations.
@@ -462,7 +506,7 @@ func (p *Processor) Multicast(payload []byte) error {
 		chunks = append(chunks, buf[off:end:end])
 	}
 	select {
-	case p.submitCh <- chunks:
+	case p.submitCh <- submission{chunks: chunks, trace: trace, reply: reply}:
 		p.nMulticasts.Add(1)
 		return nil
 	case <-p.done:
@@ -498,8 +542,8 @@ func (p *Processor) run() {
 		select {
 		case <-p.closeCh:
 			return
-		case chunks := <-p.submitCh:
-			p.enqueue(chunks)
+		case sub := <-p.submitCh:
+			p.enqueue(sub)
 			if p.parkedToken != nil && p.state == stateOperational {
 				// Wake a paced token immediately so enqueueing does not
 				// cost a tick of latency.
@@ -516,11 +560,11 @@ func (p *Processor) run() {
 	}
 }
 
-func (p *Processor) enqueue(chunks [][]byte) {
+func (p *Processor) enqueue(sub submission) {
 	p.msgID++
 	id := p.msgID
-	total := uint32(len(chunks))
-	for i, c := range chunks {
+	total := uint32(len(sub.chunks))
+	for i, c := range sub.chunks {
 		p.pending.Push(chunk{
 			Sender:    p.addr,
 			MsgID:     id,
@@ -529,7 +573,14 @@ func (p *Processor) enqueue(chunks [][]byte) {
 			Payload:   c,
 		})
 	}
-	p.sendTimes[id] = time.Now()
+	p.sendTimes[id] = sendMeta{at: time.Now(), trace: sub.trace, reply: sub.reply}
+	if sub.trace != 0 {
+		if sub.reply {
+			p.cfg.Spans.MarkOpen(sub.trace, obs.SpanReplyEnqueued)
+		} else {
+			p.cfg.Spans.Mark(sub.trace, obs.SpanEnqueued)
+		}
+	}
 	p.mPending.Set(int64(p.pending.Len()))
 }
 
@@ -608,6 +659,7 @@ func (p *Processor) handleToken(tok *tokenMsg, now time.Time) {
 	if tok.Round <= p.round {
 		return // duplicate from token retransmission
 	}
+	prevVisit := p.lastTokenAt
 	p.round = tok.Round
 	p.lastTokenAt = now
 	p.lastSentToken = nil
@@ -630,6 +682,10 @@ func (p *Processor) handleToken(tok *tokenMsg, now time.Time) {
 		} else if s > p.gcLow {
 			unsatisfied = append(unsatisfied, s)
 		}
+	}
+	rtrDone := now
+	if p.rotations != nil {
+		rtrDone = time.Now()
 	}
 
 	// 2. Request what we are missing.
@@ -657,6 +713,7 @@ func (p *Processor) handleToken(tok *tokenMsg, now time.Time) {
 	p.advanceAru()
 
 	// 3. Multicast pending chunks while we hold the token.
+	pendingBefore := p.pending.Len()
 	sent := p.sendPending(tok)
 
 	// Token idling: after several completely idle rotations, holders pace
@@ -690,8 +747,34 @@ func (p *Processor) handleToken(tok *tokenMsg, now time.Time) {
 		p.gcLow = tok.GCSeq
 	}
 
-	// 6. Forward the token.
+	// 6. Profile the visit, then forward the token.
+	if p.rotations != nil {
+		end := time.Now()
+		sample := obs.TokenRotation{
+			At:            now,
+			Round:         p.round,
+			HoldUs:        float64(end.Sub(now).Nanoseconds()) / 1e3,
+			RetransUs:     float64(rtrDone.Sub(now).Nanoseconds()) / 1e3,
+			SendUs:        float64(end.Sub(rtrDone).Nanoseconds()) / 1e3,
+			RetransServed: served,
+			ChunksSent:    sent,
+			PendingBefore: pendingBefore,
+			PendingAfter:  p.pending.Len(),
+		}
+		if !prevVisit.IsZero() {
+			sample.IntervalUs = float64(now.Sub(prevVisit).Nanoseconds()) / 1e3
+			p.mTokenInterval.ObserveDuration(now.Sub(prevVisit))
+		}
+		p.mTokenHold.ObserveDuration(end.Sub(now))
+		p.rotations.Record(sample)
+	}
 	p.forwardToken(tok, now)
+}
+
+// Rotations returns up to max most recent token-rotation profiler
+// samples, oldest first (nil when profiling is disabled).
+func (p *Processor) Rotations(max int) []obs.TokenRotation {
+	return p.rotations.Last(max)
 }
 
 // sendPending multicasts queued chunks while holding the token, bounded by
@@ -732,6 +815,21 @@ func (p *Processor) sendPending(tok *tokenMsg) int {
 		p.nDataFrames.Add(1)
 		if len(frame.Chunks) > 1 {
 			p.nPacked.Add(uint64(len(frame.Chunks)))
+		}
+		if p.cfg.Spans != nil {
+			for i := range frame.Chunks {
+				c := &frame.Chunks[i]
+				if c.FragIdx != c.FragTotal-1 {
+					continue // the message is on the wire once its last fragment is
+				}
+				if meta, ok := p.sendTimes[c.MsgID]; ok && meta.trace != 0 {
+					if meta.reply {
+						p.cfg.Spans.MarkOpen(meta.trace, obs.SpanReplyTransmitted)
+					} else {
+						p.cfg.Spans.Mark(meta.trace, obs.SpanTransmitted)
+					}
+				}
+			}
 		}
 	}
 	if sent > 0 {
@@ -894,9 +992,9 @@ func (p *Processor) observeOwn(c *chunk) {
 	if c.Sender != p.addr {
 		return
 	}
-	if t, ok := p.sendTimes[c.MsgID]; ok {
+	if meta, ok := p.sendTimes[c.MsgID]; ok {
 		delete(p.sendTimes, c.MsgID)
-		p.mLatency.ObserveDuration(time.Since(t))
+		p.mLatency.ObserveDuration(time.Since(meta.at))
 	}
 }
 
@@ -1020,10 +1118,10 @@ func (p *Processor) installRing(f *formMsg, now time.Time) {
 		p.reasm = make(map[string]*partial)
 		// Own messages already multicast under the abandoned lineage will
 		// never be delivered; keep submit times only for still-pending chunks.
-		live := make(map[uint64]time.Time, p.pending.Len())
+		live := make(map[uint64]sendMeta, p.pending.Len())
 		p.pending.Each(func(c *chunk) {
-			if t, ok := p.sendTimes[c.MsgID]; ok {
-				live[c.MsgID] = t
+			if meta, ok := p.sendTimes[c.MsgID]; ok {
+				live[c.MsgID] = meta
 			}
 		})
 		p.sendTimes = live

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"eternal/internal/obs"
 	"eternal/internal/simnet"
 )
 
@@ -582,5 +583,105 @@ func TestGarbageCollectionUnderSustainedTraffic(t *testing.T) {
 	ds := collect(t, c.procs["a"], n+1, 30*time.Second)
 	if string(ds[n].Payload) != "tail" {
 		t.Fatalf("tail = %q", ds[n].Payload)
+	}
+}
+
+// TestTracedMulticastSpansAndRotationProfiler wires a span recorder and
+// metrics registry into one member, sends traced request and reply
+// multicasts, and verifies the totem-side phase marks (enqueued,
+// transmitted, mirrored for replies) plus the token-rotation profiler's
+// samples and histograms.
+func TestTracedMulticastSpansAndRotationProfiler(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	spans := obs.NewSpanRecorder("a", 64)
+	reg := obs.NewRegistry()
+	var procs []*Processor
+	for _, addr := range []string{"a", "b"} {
+		ep, err := net.Join(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := fastConfig(NewSimnetTransport(ep))
+		if addr == "a" {
+			cfg.Spans = spans
+			cfg.Metrics = reg
+		}
+		p, err := Start(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Stop()
+		procs = append(procs, p)
+	}
+	pa, pb := procs[0], procs[1]
+	awaitView(t, pa, []string{"a", "b"}, 3*time.Second)
+	awaitView(t, pb, []string{"a", "b"}, 3*time.Second)
+
+	if err := pa.MulticastTraced([]byte("req"), 42, false); err != nil {
+		t.Fatal(err)
+	}
+	// Reply phases only stamp an already-open span (late duplicate
+	// replies must not fabricate fragments), so open trace 43 the way an
+	// executing node would — at request ordering.
+	spans.Annotate(43, "g")
+	if err := pa.MulticastTraced([]byte("rep"), 43, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := pa.Multicast([]byte("untraced")); err != nil {
+		t.Fatal(err)
+	}
+	collect(t, pb, 3, 5*time.Second)
+	collect(t, pa, 3, 5*time.Second)
+
+	spans.FlushIdle(0)
+	got := make(map[uint64]obs.Span)
+	for _, sp := range spans.Since(0, 0) {
+		got[sp.Trace] = sp
+	}
+	req, ok := got[42]
+	if !ok {
+		t.Fatalf("no span for trace 42: %+v", got)
+	}
+	if req.Phases[obs.SpanEnqueued] == 0 || req.Phases[obs.SpanTransmitted] == 0 {
+		t.Fatalf("request span missing totem phases: %+v", req)
+	}
+	if req.Phases[obs.SpanTransmitted] < req.Phases[obs.SpanEnqueued] {
+		t.Fatalf("transmit before enqueue: %+v", req)
+	}
+	rep, ok := got[43]
+	if !ok {
+		t.Fatalf("no span for trace 43: %+v", got)
+	}
+	if rep.Phases[obs.SpanReplyEnqueued] == 0 || rep.Phases[obs.SpanReplyTransmitted] == 0 {
+		t.Fatalf("reply span missing mirrored phases: %+v", rep)
+	}
+	if rep.Phases[obs.SpanEnqueued] != 0 {
+		t.Fatalf("reply marked with request phases: %+v", rep)
+	}
+	if len(got) != 2 {
+		t.Fatalf("untraced multicast opened a span: %+v", got)
+	}
+
+	rots := pa.Rotations(0)
+	if len(rots) == 0 {
+		t.Fatal("no rotation samples")
+	}
+	var sawSend bool
+	for _, r := range rots {
+		if r.HoldUs < 0 || r.IntervalUs < 0 {
+			t.Fatalf("negative durations in sample %+v", r)
+		}
+		if r.ChunksSent > 0 {
+			sawSend = true
+		}
+	}
+	if !sawSend {
+		t.Fatalf("no rotation recorded the pending-queue drain: %+v", rots)
+	}
+	for _, name := range []string{"eternal_totem_token_hold_seconds", "eternal_totem_token_interval_seconds"} {
+		h := reg.FindHistogram(name)
+		if h == nil || h.Count() == 0 {
+			t.Fatalf("%s not populated", name)
+		}
 	}
 }

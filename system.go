@@ -37,6 +37,9 @@ type SystemConfig struct {
 	// StateChunksPerToken caps state-chunk multicasts per token rotation
 	// during a transfer (default 2).
 	StateChunksPerToken int
+	// SpanCapacity bounds each node's causal span journal (0 = default;
+	// negative disables span recording — the overhead baseline).
+	SpanCapacity int
 	// DefaultTimeout bounds the System's administrative operations
 	// (default 30s).
 	DefaultTimeout time.Duration
@@ -97,6 +100,7 @@ func (s *System) startNode(addr string) (*core.Node, error) {
 		SyncSelfDeclare:     s.cfg.SyncSelfDeclare,
 		StateChunkBytes:     s.cfg.StateChunkBytes,
 		StateChunksPerToken: s.cfg.StateChunksPerToken,
+		SpanCapacity:        s.cfg.SpanCapacity,
 	})
 	if err != nil {
 		return nil, err
