@@ -3,6 +3,7 @@ package eternal_test
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -121,6 +122,250 @@ func TestChaosSoak(t *testing.T) {
 			t.Fatalf("history diverged: got %d entries, want %d acked", len(hs), len(acked))
 		}
 		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// TestAuditDetectsCorruption injects the fault the consistency audit
+// exists for: one replica's state is silently corrupted in place (no
+// crash, no missed invocation), and the totally-ordered digest matching
+// must flag the divergence within two audit epochs of the corruption.
+func TestAuditDetectsCorruption(t *testing.T) {
+	const auditInterval = 50 * time.Millisecond
+	nodes := []string{"c1", "c2", "c3"}
+	sys, err := eternal.NewSystem(eternal.SystemConfig{
+		Nodes: nodes,
+		Totem: totem.Config{
+			TokenLossTimeout: 150 * time.Millisecond,
+			JoinInterval:     10 * time.Millisecond,
+			StableFor:        25 * time.Millisecond,
+			Tick:             time.Millisecond,
+		},
+		ManagerTick:    10 * time.Millisecond,
+		AuditInterval:  auditInterval,
+		DefaultTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Shutdown()
+	sys.RegisterFactory("Register", func(oid string) eternal.Replica { return &register{} })
+	// c2's factory additionally hands us the live instance, so the test
+	// can reach around the replication machinery and corrupt it.
+	var (
+		mu     sync.Mutex
+		victim *register
+	)
+	sys.Node("c2").RegisterFactory("Register", func(oid string) eternal.Replica {
+		r := &register{}
+		mu.Lock()
+		victim = r
+		mu.Unlock()
+		return r
+	})
+	err = sys.CreateGroup(eternal.GroupSpec{
+		Name: "reg", TypeName: "Register",
+		Props: eternal.Properties{Style: eternal.Active, InitialReplicas: 3, MinReplicas: 2},
+		Nodes: nodes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := sys.Client("c1", "audit-driver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	obj, err := cl.Resolve("reg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := eternal.NewEncoder(eternal.BigEndian)
+	e.WriteString("before")
+	if _, err := obj.Invoke("set", e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for at least one fully-reported clean epoch, so the baseline is
+	// established and the corruption's detection epoch is measurable.
+	var baseline uint64
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s, ok := sys.Node("c1").AuditSummary()
+		if !ok {
+			t.Fatal("audit disabled on c1")
+		}
+		if s.Diverged || s.Divergences+s.Lags+s.Stalls > 0 {
+			t.Fatalf("alarms before corruption: %+v", s)
+		}
+		if s.Observations >= 3 && s.LastEpoch > 0 {
+			baseline = s.LastEpoch
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no clean audit epoch completed: %+v", s)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	mu.Lock()
+	r := victim
+	mu.Unlock()
+	if r == nil {
+		t.Fatal("victim replica never instantiated on c2")
+	}
+	r.mu.Lock()
+	r.val = "corrupted-in-place"
+	r.mu.Unlock()
+
+	// The divergence must surface within two audit epochs everywhere.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		alarmed := 0
+		for _, nd := range nodes {
+			for _, a := range sys.Node(nd).AuditAlarms(0, 0) {
+				if a.Kind != "divergence" {
+					t.Fatalf("%s raised a non-divergence alarm: %+v", nd, a)
+				}
+				alarmed++
+				epochs := distinctEpochsAfter(sys.Node(nd).Audits(0, 0), baseline)
+				pos := 0
+				for i, ep := range epochs {
+					if ep == a.Epoch {
+						pos = i + 1
+						break
+					}
+				}
+				if pos == 0 || pos > 2 {
+					t.Fatalf("%s detected at epoch %d, %d epoch(s) after baseline %d (want <= 2; epochs %v)",
+						nd, a.Epoch, pos, baseline, epochs)
+				}
+			}
+		}
+		if alarmed == len(nodes) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d nodes flagged the corruption", alarmed, len(nodes))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s, _ := sys.Node("c1").AuditSummary(); !s.Diverged {
+		t.Fatalf("summary not diverged after detection: %+v", s)
+	}
+}
+
+// distinctEpochsAfter lists the distinct audit epochs > after in the
+// observation feed, ascending (observations arrive in delivery order).
+func distinctEpochsAfter(audits []eternal.AuditObservation, after uint64) []uint64 {
+	var epochs []uint64
+	for _, o := range audits {
+		if o.Epoch <= after {
+			continue
+		}
+		if len(epochs) == 0 || epochs[len(epochs)-1] != o.Epoch {
+			epochs = append(epochs, o.Epoch)
+		}
+	}
+	return epochs
+}
+
+// TestAuditNoFalseAlarmsKillRecover runs the audit at a fast cadence
+// through a clean replica kill/recover and a whole-node crash/restart:
+// recovery-window suppression and membership-change cancellation must keep
+// the alarm count at exactly zero.
+func TestAuditNoFalseAlarmsKillRecover(t *testing.T) {
+	const auditInterval = 100 * time.Millisecond
+	nodes := []string{"c1", "c2", "c3", "c4"}
+	sys, err := eternal.NewSystem(eternal.SystemConfig{
+		Nodes: nodes,
+		Totem: totem.Config{
+			TokenLossTimeout: 150 * time.Millisecond,
+			JoinInterval:     10 * time.Millisecond,
+			StableFor:        25 * time.Millisecond,
+			Tick:             time.Millisecond,
+		},
+		ManagerTick:    10 * time.Millisecond,
+		AuditInterval:  auditInterval,
+		DefaultTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Shutdown()
+	factory := func(oid string) eternal.Replica { return &register{} }
+	sys.RegisterFactory("Register", factory)
+	err = sys.CreateGroup(eternal.GroupSpec{
+		Name: "reg", TypeName: "Register",
+		Props: eternal.Properties{Style: eternal.Active, InitialReplicas: 3, MinReplicas: 2},
+		Nodes: []string{"c1", "c2", "c3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := sys.Client("c4", "audit-driver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	obj, err := cl.Resolve("reg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(i int) {
+		e := eternal.NewEncoder(eternal.BigEndian)
+		e.WriteString(fmt.Sprintf("w%03d", i))
+		if _, err := obj.InvokeTimeout("set", e.Bytes(), 20*time.Second); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		write(i)
+	}
+
+	// Clean replica kill/recover on c2 with writes in between — the
+	// recovering replica replays its held queue and its late audit reports
+	// must still match.
+	if err := sys.Node("c2").KillReplica("reg", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < 10; i++ {
+		write(i)
+	}
+	if err := sys.Node("c2").RecoverReplica("reg", 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 15; i++ {
+		write(i)
+	}
+
+	// Whole-node crash and restart of c3.
+	sys.CrashNode("c3")
+	for i := 15; i < 20; i++ {
+		write(i)
+	}
+	restarted, err := sys.RestartNode("c3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarted.RegisterFactory("Register", factory)
+	for i := 20; i < 25; i++ {
+		write(i)
+	}
+
+	// Let several audit epochs (and the stall sweep's 8x deadline) pass
+	// after the last fault, then demand a spotless record everywhere.
+	time.Sleep(12 * auditInterval)
+	for _, nd := range sys.Nodes() {
+		s, ok := sys.Node(nd).AuditSummary()
+		if !ok {
+			t.Fatalf("audit disabled on %s", nd)
+		}
+		if s.Diverged || s.Divergences+s.Lags+s.Stalls > 0 {
+			t.Fatalf("%s raised false alarms: %+v (alarms %+v)", nd, s, sys.Node(nd).AuditAlarms(0, 0))
+		}
+		if s.Observations == 0 || s.LastEpoch == 0 {
+			t.Fatalf("%s collected no audits: %+v", nd, s)
+		}
 	}
 }
 

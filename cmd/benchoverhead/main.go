@@ -83,6 +83,9 @@ func main() {
 	spansJSON := flag.String("spans-json", "", "run the span phase-attribution bench (where the microseconds of a 2-way active invocation go) and write it to this file (e.g. BENCH_6.json)")
 	maxSpanOverhead := flag.Float64("max-span-overhead-pct", 5,
 		"fail the -spans-json run if span recording costs more than this percent of sustained inv/s")
+	auditJSON := flag.String("audit-json", "", "run the consistency-audit bench (digest matching correctness plus the audit layer's sustained-throughput overhead) and write it to this file (e.g. BENCH_7.json)")
+	maxAuditOverhead := flag.Float64("max-audit-overhead-pct", 2,
+		"fail the -audit-json run if the audit costs more than this percent of sustained inv/s")
 	flag.Parse()
 
 	if *recoveryJSON != "" {
@@ -91,6 +94,10 @@ func main() {
 	}
 	if *spansJSON != "" {
 		runSpanBench(*spansJSON, *n, *maxSpanOverhead)
+		return
+	}
+	if *auditJSON != "" {
+		runAuditBench(*auditJSON, *n, *maxAuditOverhead)
 		return
 	}
 
@@ -545,6 +552,198 @@ func runSpanBench(path string, n int, maxOverheadPct float64) {
 	}
 	if overheadPct > maxOverheadPct {
 		log.Fatalf("span bench: span recording costs %.1f%% of sustained inv/s (budget %.1f%%)", overheadPct, maxOverheadPct)
+	}
+}
+
+// newAuditSystem starts a 2-node domain for the audit bench with the
+// given audit-mark interval (negative disables the audit — the baseline).
+func newAuditSystem(auditInterval time.Duration) (*eternal.System, []string) {
+	nodes := []string{"n1", "n2"}
+	sys, err := eternal.NewSystem(eternal.SystemConfig{
+		Nodes: nodes,
+		Network: simnet.Config{
+			BandwidthBps: 100_000_000,
+			Latency:      50 * time.Microsecond,
+		},
+		Totem: totem.Config{
+			TokenLossTimeout: 200 * time.Millisecond,
+			JoinInterval:     10 * time.Millisecond,
+			StableFor:        20 * time.Millisecond,
+			Tick:             time.Millisecond,
+		},
+		ManagerTick:    5 * time.Millisecond,
+		AuditInterval:  auditInterval,
+		DefaultTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.RegisterFactory("Null", func(oid string) eternal.Replica { return nullServant{} })
+	if err := sys.CreateGroup(eternal.GroupSpec{
+		Name: "null", TypeName: "Null",
+		Props: eternal.Properties{Style: eternal.Active, InitialReplicas: 2, MinReplicas: 1},
+		Nodes: nodes,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	return sys, nodes
+}
+
+// auditRate drives n invocations from `clients` concurrent clients against
+// a 2-way active group auditing at the given interval and reports the
+// aggregate rate.
+func auditRate(n, clients int, auditInterval time.Duration) float64 {
+	sys, nodes := newAuditSystem(auditInterval)
+	defer sys.Shutdown()
+	objs := make([]*eternal.ObjectRef, clients)
+	for i := range objs {
+		cl, err := sys.Client(nodes[i%len(nodes)], fmt.Sprintf("driver%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cl.Close()
+		if objs[i], err = cl.Resolve("null"); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := objs[i].Invoke("ping", nil); err != nil { // warm up
+			log.Fatal(err)
+		}
+	}
+	start := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for _, obj := range objs {
+		wg.Add(1)
+		go func(obj *eternal.ObjectRef) {
+			defer wg.Done()
+			for next.Add(1) <= int64(n) {
+				if _, err := obj.Invoke("ping", nil); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(obj)
+	}
+	wg.Wait()
+	return float64(n) / time.Since(start).Seconds()
+}
+
+// pairedAuditRates interleaves audit-on and audit-off runs and returns the
+// best of each. Alternating the sides run-by-run (rather than measuring one
+// side to completion first) keeps slow environmental drift — CPU frequency,
+// other tenants — from landing on only one side of the comparison; a 2%
+// overhead budget is below the run-to-run noise of short uncorrelated runs.
+func pairedAuditRates(runs, n, clients int, auditInterval time.Duration) (on, off float64) {
+	for i := 0; i < runs; i++ {
+		if r := auditRate(n, clients, auditInterval); r > on {
+			on = r
+		}
+		if r := auditRate(n, clients, -1); r > off {
+			off = r
+		}
+	}
+	return on, off
+}
+
+// runAuditBench is the -audit-json mode: first a correctness probe — a
+// 2-way active group audited aggressively under load must produce
+// matching digests on every epoch with zero alarms — then the audit
+// layer's sustained-throughput overhead against an audit-disabled
+// baseline. Fails (non-zero exit) on any divergence, any alarm, or
+// overhead beyond maxOverheadPct — the CI gate on the audit hot path.
+func runAuditBench(path string, n int, maxOverheadPct float64) {
+	// Correctness probe: drive invocations while marks fire every 25ms,
+	// then check both nodes' verdicts and cross-check their feeds.
+	const probeInterval = 25 * time.Millisecond
+	sys, nodes := newAuditSystem(probeInterval)
+	cl, err := sys.Client(nodes[0], "driver")
+	if err != nil {
+		log.Fatal(err)
+	}
+	obj, err := cl.Resolve("null")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := obj.Invoke("ping", nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Let a few more epochs complete after the load stops.
+	time.Sleep(8 * probeInterval)
+	feeds := make(map[string][]eternal.AuditObservation)
+	var (
+		observations uint64
+		alarms       uint64
+		diverged     bool
+	)
+	for _, nd := range nodes {
+		node := sys.Node(nd)
+		feeds[nd] = node.Audits(0, 0)
+		s, ok := node.AuditSummary()
+		if !ok {
+			log.Fatalf("audit bench: %s has no audit collector", nd)
+		}
+		observations += s.Observations
+		alarms += s.Divergences + s.Lags + s.Stalls
+		diverged = diverged || s.Diverged
+	}
+	rows := eternal.MergeAudits(feeds)
+	epochs := len(rows)
+	for _, row := range rows {
+		if row.Diverged || row.Conflicted {
+			diverged = true
+		}
+	}
+	cl.Close()
+	sys.Shutdown()
+	fmt.Printf("audit correctness probe — 2-way active, marks every %s under load\n", probeInterval)
+	fmt.Printf("  epochs=%d observations=%d alarms=%d diverged=%t\n\n", epochs, observations, alarms, diverged)
+
+	// Overhead: sustained rate with aggressive auditing vs. disabled
+	// (AuditInterval < 0 — no collector, no marks, no captures). Longer
+	// runs than the probe: the budget is tighter than short-run noise.
+	const rateRuns, rateClients = 4, 4
+	const rateInterval = 50 * time.Millisecond
+	rateN := max(4*n, 8000)
+	rateOn, rateOff := pairedAuditRates(rateRuns, rateN, rateClients, rateInterval)
+	overheadPct := (rateOff - rateOn) / rateOff * 100
+	fmt.Printf("audit overhead — sustained 2-way active, %d clients × %d invocations, marks every %s, best of %d interleaved runs\n",
+		rateClients, rateN, rateInterval, rateRuns)
+	fmt.Printf("  audit disabled %10.0f inv/s\n  audit enabled  %10.0f inv/s\n  overhead       %9.1f%% (budget %.1f%%)\n",
+		rateOff, rateOn, overheadPct, maxOverheadPct)
+
+	writeJSON(path, map[string]any{
+		"benchmark": "e10_consistency_audit",
+		"generated": time.Now().UTC().Format(time.RFC3339),
+		"probe": map[string]any{
+			"interval_ms":  float64(probeInterval.Milliseconds()),
+			"invocations":  n,
+			"epochs":       epochs,
+			"observations": observations,
+			"alarms":       alarms,
+			"diverged":     diverged,
+		},
+		"overhead": map[string]any{
+			"clients":              rateClients,
+			"runs":                 rateRuns,
+			"invocations":          rateN,
+			"mark_interval_ms":     float64(rateInterval.Milliseconds()),
+			"inv_per_sec_audit_on": rateOn, "inv_per_sec_audit_off": rateOff,
+			"overhead_pct":     overheadPct,
+			"max_overhead_pct": maxOverheadPct,
+		},
+	})
+	if epochs == 0 || observations == 0 {
+		log.Fatal("audit bench: no audit epochs observed during the probe")
+	}
+	if diverged {
+		log.Fatal("audit bench: digests diverged on an identical-state workload")
+	}
+	if alarms > 0 {
+		log.Fatalf("audit bench: %d false alarm(s) on a healthy cluster", alarms)
+	}
+	if overheadPct > maxOverheadPct {
+		log.Fatalf("audit bench: auditing costs %.1f%% of sustained inv/s (budget %.1f%%)", overheadPct, maxOverheadPct)
 	}
 }
 

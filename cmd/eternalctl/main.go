@@ -34,6 +34,13 @@
 // the end-to-end p50 the phases account for), plus each node's
 // token-rotation profile: where the token spends its time.
 //
+// audit scrapes every node's /audit consistency feed, prints each node's
+// live verdict (last epoch, alarm totals, per-group member standing) and
+// the cluster-merged per-epoch digest matrix, cross-checking the feeds
+// against each other. Any diverged epoch — or any pair of feeds that
+// disagree about one member's digest — is flagged and makes the exit
+// status non-zero, as does a latched divergence in any node's summary.
+//
 // Any unreachable node is named on stderr and makes the exit status
 // non-zero; reachable nodes' data is still merged and printed.
 package main
@@ -64,7 +71,7 @@ func main() {
 	)
 	flag.Parse()
 	if *nodesArg == "" || flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: eternalctl -nodes name=host:port,... [flags] timeline|status|recovery|trace [traceid]|critical-path")
+		fmt.Fprintln(os.Stderr, "usage: eternalctl -nodes name=host:port,... [flags] timeline|status|recovery|trace [traceid]|critical-path|audit")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -118,8 +125,14 @@ func main() {
 		traces := obs.MergeSpans(spans)
 		printCriticalPath(os.Stdout, obs.AttributePhases(traces), len(traces))
 		printRotations(os.Stdout, rots)
+	case "audit":
+		feeds, errs := scrapeAudits(client, nodes, *since, *pageSize)
+		failed = reportScrapeErrors(errs)
+		if printAudit(os.Stdout, feeds, *group) {
+			failed = true
+		}
 	default:
-		fatal(fmt.Errorf("unknown command %q (want timeline, status, recovery, trace or critical-path)", cmd))
+		fatal(fmt.Errorf("unknown command %q (want timeline, status, recovery, trace, critical-path or audit)", cmd))
 	}
 	if failed {
 		os.Exit(1)
@@ -643,9 +656,10 @@ type clusterReport struct {
 			Role  string `json:"role"`
 		} `json:"members"`
 	} `json:"groups"`
-	Seq            uint64 `json:"seq"`
-	EventsRecorded uint64 `json:"events_recorded"`
-	EventsDropped  uint64 `json:"events_dropped"`
+	Audit          *obs.AuditSummary `json:"audit"`
+	Seq            uint64            `json:"seq"`
+	EventsRecorded uint64            `json:"events_recorded"`
+	EventsDropped  uint64            `json:"events_dropped"`
 }
 
 func printStatus(w io.Writer, client *http.Client, nodes map[string]string) (failed bool) {
@@ -673,6 +687,15 @@ func printStatus(w io.Writer, client *http.Client, nodes map[string]string) (fai
 		fmt.Fprintf(w, "%s (%s): synced=%t seq=%d events=%d dropped=%d live=[%s]\n",
 			name, rep.Node, rep.Synced, rep.Seq, rep.EventsRecorded, rep.EventsDropped,
 			strings.Join(rep.Live, ","))
+		if a := rep.Audit; a != nil {
+			verdict := "consistent"
+			if a.Diverged {
+				verdict = "DIVERGED"
+				failed = true
+			}
+			fmt.Fprintf(w, "  audit: %s epoch=%d observations=%d alarms(div/lag/stall)=%d/%d/%d\n",
+				verdict, a.LastEpoch, a.Observations, a.Divergences, a.Lags, a.Stalls)
+		}
 		for _, g := range rep.Groups {
 			var members []string
 			for _, mm := range g.Members {
@@ -683,7 +706,189 @@ func printStatus(w io.Writer, client *http.Client, nodes map[string]string) (fai
 				hosted = " [hosted here]"
 			}
 			fmt.Fprintf(w, "  group %s (%s)%s: %s\n", g.Name, g.Style, hosted, strings.Join(members, " "))
+			if rep.Audit == nil {
+				continue
+			}
+			for _, ga := range rep.Audit.Groups {
+				if ga.Group != g.Name {
+					continue
+				}
+				for _, m := range ga.Members {
+					flags := ""
+					if m.Lagging {
+						flags += " LAGGING"
+					}
+					if m.Stalled {
+						flags += " STALLED"
+					}
+					fmt.Fprintf(w, "    audit %-10s epoch=%-6d digest=%08x lag=%d%s\n",
+						m.Node, m.Epoch, m.Digest, m.Lag, flags)
+				}
+			}
 		}
 	}
 	return failed
+}
+
+// auditPage mirrors the /audit response body.
+type auditPage struct {
+	Node    string                 `json:"node"`
+	Enabled bool                   `json:"enabled"`
+	Summary obs.AuditSummary       `json:"summary"`
+	Dropped uint64                 `json:"dropped"`
+	Next    uint64                 `json:"next"`
+	Audits  []obs.AuditObservation `json:"audits"`
+	Alarms  []obs.AuditAlarm       `json:"alarms"`
+}
+
+// auditFeed is one node's drained /audit journal plus its live summary
+// and recent alarms.
+type auditFeed struct {
+	Enabled bool
+	Summary obs.AuditSummary
+	Audits  []obs.AuditObservation
+	Alarms  []obs.AuditAlarm
+	Dropped uint64
+}
+
+// fetchAudit drains one node's /audit feed (same cursor pagination as
+// /events); the last page also carries the summary and recent alarms.
+func fetchAudit(client *http.Client, addr string, since uint64, pageSize int) (auditFeed, error) {
+	if pageSize <= 0 {
+		pageSize = 512
+	}
+	var f auditFeed
+	cursor := since
+	for {
+		url := fmt.Sprintf("http://%s/audit?since=%d&n=%d&alarms=64", addr, cursor, pageSize)
+		resp, err := client.Get(url)
+		if err != nil {
+			return f, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return f, fmt.Errorf("GET %s: %s", url, resp.Status)
+		}
+		var page auditPage
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if err != nil {
+			return f, fmt.Errorf("GET %s: %v", url, err)
+		}
+		f.Enabled = page.Enabled
+		f.Summary = page.Summary
+		f.Dropped = page.Dropped
+		f.Alarms = page.Alarms
+		f.Audits = append(f.Audits, page.Audits...)
+		if len(page.Audits) < pageSize {
+			return f, nil
+		}
+		cursor = page.Next
+	}
+}
+
+// scrapeAudits fetches every node's audit feed concurrently.
+func scrapeAudits(client *http.Client, nodes map[string]string, since uint64, pageSize int) (map[string]auditFeed, map[string]error) {
+	var mu sync.Mutex
+	feeds := make(map[string]auditFeed)
+	errs := make(map[string]error)
+	var wg sync.WaitGroup
+	for name, addr := range nodes {
+		wg.Add(1)
+		go func(name, addr string) {
+			defer wg.Done()
+			feed, err := fetchAudit(client, addr, since, pageSize)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[name] = err
+				return
+			}
+			feeds[name] = feed
+		}(name, addr)
+	}
+	wg.Wait()
+	return feeds, errs
+}
+
+// printAudit renders the per-node verdicts and the cluster-merged digest
+// matrix; it reports true when any epoch diverged, any feeds conflict, or
+// any node holds a latched divergence — the caller exits non-zero.
+func printAudit(w io.Writer, feeds map[string]auditFeed, group string) (bad bool) {
+	names := make([]string, 0, len(feeds))
+	for name := range feeds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := feeds[name]
+		if !f.Enabled {
+			fmt.Fprintf(w, "%s: audit disabled\n", name)
+			continue
+		}
+		s := f.Summary
+		verdict := "consistent"
+		if s.Diverged {
+			verdict = "DIVERGED"
+			bad = true
+		}
+		fmt.Fprintf(w, "%s: %s epoch=%d observations=%d alarms(div/lag/stall)=%d/%d/%d\n",
+			name, verdict, s.LastEpoch, s.Observations, s.Divergences, s.Lags, s.Stalls)
+		for _, ga := range s.Groups {
+			if group != "" && ga.Group != group {
+				continue
+			}
+			for _, m := range ga.Members {
+				flags := ""
+				if m.Lagging {
+					flags += " LAGGING"
+				}
+				if m.Stalled {
+					flags += " STALLED"
+				}
+				fmt.Fprintf(w, "  %-12s %-10s epoch=%-6d digest=%08x lag=%d%s\n",
+					ga.Group, m.Node, m.Epoch, m.Digest, m.Lag, flags)
+			}
+		}
+		for _, a := range f.Alarms {
+			fmt.Fprintf(w, "  alarm %-10s group=%s node=%s epoch=%d %s\n",
+				a.Kind, a.Group, orDash(a.Node), a.Epoch, a.Detail)
+		}
+	}
+
+	obsFeeds := make(map[string][]obs.AuditObservation, len(feeds))
+	for name, f := range feeds {
+		obsFeeds[name] = f.Audits
+	}
+	rows := obs.MergeAudits(obsFeeds)
+	printed := 0
+	for _, row := range rows {
+		if group != "" && row.Group != group {
+			continue
+		}
+		printed++
+		members := make([]string, 0, len(row.Digests))
+		for node := range row.Digests {
+			members = append(members, node)
+		}
+		sort.Strings(members)
+		var b strings.Builder
+		fmt.Fprintf(&b, "epoch %6d  %-12s", row.Epoch, row.Group)
+		for _, node := range members {
+			fmt.Fprintf(&b, "  %s=%08x", node, row.Digests[node])
+		}
+		if row.Diverged {
+			fmt.Fprintf(&b, "  ** DIVERGED **")
+			bad = true
+		}
+		if row.Conflicted {
+			fmt.Fprintf(&b, "  ** FEED CONFLICT **")
+			bad = true
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	if printed == 0 {
+		fmt.Fprintln(w, "no audit epochs in the scraped window")
+	}
+	return bad
 }

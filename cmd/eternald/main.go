@@ -18,7 +18,9 @@
 // synchronized), /trace (recent message-lifecycle traces), /events (the
 // flight-recorder feed eternalctl merges into a cluster timeline),
 // /spans (per-invocation phase spans and the token-rotation profile,
-// the feed behind eternalctl trace and critical-path), /cluster (this
+// the feed behind eternalctl trace and critical-path), /audit (the
+// consistency-audit digest journal behind eternalctl audit; /healthz
+// reports 503 while a divergence alarm is latched), /cluster (this
 // node's view of every group plus its delivery position)
 // and /debug/pprof/. The admin server shuts down gracefully on SIGINT or
 // SIGTERM.
@@ -99,6 +101,10 @@ func main() {
 			"state chunks multicast per token rotation during a transfer (0 = default 2)")
 		spanCapacity = flag.Int("span-capacity", 0,
 			"invocation span journal size (0 = default, negative disables span recording)")
+		auditInterval = flag.Duration("audit-interval", 0,
+			"consistency-audit mark period (0 = default 1s, negative disables the audit)")
+		auditCapacity = flag.Int("audit-capacity", 0,
+			"audit observation journal size (0 = default)")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -125,6 +131,8 @@ func main() {
 		StateChunkBytes:     *chunkBytes,
 		StateChunksPerToken: *chunksPerToken,
 		SpanCapacity:        *spanCapacity,
+		AuditInterval:       *auditInterval,
+		AuditCapacity:       *auditCapacity,
 	}
 	if *logLevel != "" {
 		level, err := eternal.ParseLogLevel(*logLevel)
@@ -144,7 +152,7 @@ func main() {
 	if *admin != "" {
 		adminSrv = &http.Server{Addr: *admin, Handler: node.AdminHandler()}
 		go func() {
-			log.Printf("admin endpoint on http://%s/ (metrics, healthz, trace, events, spans, cluster, debug/pprof)", *admin)
+			log.Printf("admin endpoint on http://%s/ (metrics, healthz, trace, events, spans, audit, cluster, debug/pprof)", *admin)
 			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("admin endpoint: %v", err)
 			}

@@ -133,6 +133,20 @@ type (
 	// TokenRotation is one token-visit profile from the totem rotation
 	// profiler: hold time, retransmission service, pending-queue drain.
 	TokenRotation = obs.TokenRotation
+	// AuditObservation is one consistency-audit report: a member's state
+	// digest at a totally-ordered audit epoch (Node.Audits, /audit).
+	AuditObservation = obs.AuditObservation
+	// AuditAlarm is one raised consistency alarm: divergence, lag or stall.
+	AuditAlarm = obs.AuditAlarm
+	// AuditSummary is a node's live consistency verdict (/healthz, /cluster).
+	AuditSummary = obs.AuditSummary
+	// AuditGroupStatus is one group's per-member audit standing.
+	AuditGroupStatus = obs.AuditGroupStatus
+	// AuditMemberStatus is one member's last digest, lag and alarm state.
+	AuditMemberStatus = obs.AuditMemberStatus
+	// AuditEpochRow is one group-epoch's cross-node digest matrix
+	// (eternalctl audit).
+	AuditEpochRow = obs.AuditEpochRow
 )
 
 // MergeSpans merges per-node span feeds into per-invocation cross-node
@@ -142,6 +156,10 @@ var (
 	MergeSpans      = obs.MergeSpans
 	AttributePhases = obs.AttributePhases
 	MergeEvents     = obs.MergeEvents
+	// MergeAudits merges per-node audit feeds into per-epoch digest rows,
+	// flagging divergence (members disagree) and conflict (feeds disagree
+	// about one member).
+	MergeAudits = obs.MergeAudits
 )
 
 // ParseLogLevel parses "debug", "info", "warn" or "error" into a

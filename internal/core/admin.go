@@ -13,14 +13,19 @@ import (
 // AdminHandler returns the node's administrative HTTP surface:
 //
 //	/metrics  — Prometheus text exposition of the node's registry
-//	/healthz  — JSON: sync status, live processors, groups and roles
-//	          (503 while the node has not yet synchronized)
+//	/healthz  — JSON: sync status, live processors, groups and roles, and
+//	          the audit summary (503 while the node has not yet
+//	          synchronized, or while the consistency audit holds a
+//	          divergence)
 //	/trace    — JSON: the last n message-lifecycle traces (?n=K, default 20)
 //	/events   — JSON: flight-recorder events (?since=<index>&n=K), paginated
 //	          by recorder index for eternalctl's cluster-timeline merge
 //	/spans    — JSON: invocation phase spans (?since=<index>&n=K), paginated
 //	          like /events; ?rot=K appends the last K token-rotation
 //	          profiler samples
+//	/audit    — JSON: consistency-audit observations (?since=<index>&n=K),
+//	          paginated like /events, plus the live summary; ?alarms=K
+//	          appends the last K audit alarms
 //	/cluster  — JSON: this node's full view of the cluster — the /healthz
 //	          report plus its delivery position and recorder totals
 //	/debug/pprof/ — the standard Go profiling endpoints
@@ -38,6 +43,7 @@ func (n *Node) AdminHandler() http.Handler {
 	mux.HandleFunc("/trace", n.serveTrace)
 	mux.HandleFunc("/events", n.serveEvents)
 	mux.HandleFunc("/spans", n.serveSpans)
+	mux.HandleFunc("/audit", n.serveAudit)
 	mux.HandleFunc("/cluster", n.serveCluster)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -81,6 +87,15 @@ type healthReport struct {
 	Synced bool          `json:"synced"`
 	Live   []string      `json:"live"`
 	Groups []healthGroup `json:"groups"`
+	// Audit is the consistency-audit summary (last audited epoch, per-
+	// group digest state, alarm totals); nil when the audit is disabled.
+	Audit *obs.AuditSummary `json:"audit,omitempty"`
+}
+
+// degraded reports whether the node should answer /healthz with 503:
+// not yet synchronized, or the live audit holds a divergence.
+func (rep *healthReport) degraded() bool {
+	return !rep.Synced || (rep.Audit != nil && rep.Audit.Diverged)
 }
 
 // clusterReport is the /cluster body: the health report plus the node's
@@ -148,6 +163,10 @@ func (n *Node) buildHealthReport() healthReport {
 		}
 		rep.Groups = append(rep.Groups, hg)
 	}
+	if n.audit != nil {
+		s := n.audit.Summary()
+		rep.Audit = &s
+	}
 	return rep
 }
 
@@ -158,9 +177,10 @@ func (n *Node) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if !rep.Synced {
-		// Not yet synchronized: not ready to serve, but the body still
-		// carries the full report for diagnosis.
+	if rep.degraded() {
+		// Not yet synchronized, or the audit holds a divergence: not
+		// healthy to serve, but the body still carries the full report
+		// (including the last audited epoch) for diagnosis.
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	json.NewEncoder(w).Encode(rep)
@@ -288,6 +308,54 @@ func (n *Node) serveSpans(w http.ResponseWriter, r *http.Request) {
 	}
 	if rot > 0 {
 		page.Rotations = n.proc.Rotations(rot)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Eternal-Next", strconv.FormatUint(page.Next, 10))
+	json.NewEncoder(w).Encode(page)
+}
+
+// auditPage is the /audit body: one page of the node's consistency-audit
+// observation journal, paginated exactly like /events, plus the live
+// summary and (when ?alarms=K asks for them) the most recent alarms.
+type auditPage struct {
+	Node    string                 `json:"node"`
+	Enabled bool                   `json:"enabled"`
+	Summary obs.AuditSummary       `json:"summary"`
+	Dropped uint64                 `json:"dropped"`
+	Next    uint64                 `json:"next"`
+	Audits  []obs.AuditObservation `json:"audits"`
+	Alarms  []obs.AuditAlarm       `json:"alarms,omitempty"`
+}
+
+func (n *Node) serveAudit(w http.ResponseWriter, r *http.Request) {
+	since, count, ok := pageParams(w, r, 256)
+	if !ok {
+		return
+	}
+	alarms := 0
+	if s := r.URL.Query().Get("alarms"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			jsonError(w, "bad alarms", http.StatusBadRequest)
+			return
+		}
+		alarms = v
+	}
+	page := auditPage{
+		Node:    n.addr,
+		Enabled: n.audit != nil,
+		Summary: n.audit.Summary(),
+		Dropped: n.audit.Dropped(),
+		Next:    since,
+		Audits:  n.audit.Since(since, count),
+	}
+	if len(page.Audits) > 0 {
+		page.Next = page.Audits[len(page.Audits)-1].Index
+	} else {
+		page.Audits = []obs.AuditObservation{}
+	}
+	if alarms > 0 {
+		page.Alarms = n.audit.LastAlarms(alarms)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Eternal-Next", strconv.FormatUint(page.Next, 10))

@@ -46,6 +46,10 @@ func TestAdminBadParameters(t *testing.T) {
 		"/events?since=-1",
 		"/events?n=bogus",
 		"/events?n=-1",
+		"/audit?since=bogus",
+		"/audit?n=-1",
+		"/audit?alarms=bogus",
+		"/audit?alarms=-1",
 	} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
@@ -66,6 +70,7 @@ func TestAdminContentTypes(t *testing.T) {
 		"/healthz": "application/json",
 		"/trace":   "application/json",
 		"/events":  "application/json",
+		"/audit":   "application/json",
 		"/cluster": "application/json",
 	} {
 		resp, err := http.Get(srv.URL + path)

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"eternal/internal/ftcorba"
+	"eternal/internal/obs"
+	"eternal/internal/replication"
+	"eternal/internal/simnet"
+	"eternal/internal/totem"
+)
+
+// newAuditCluster is newTestCluster with a fast audit cadence, so tests
+// observe several epochs in milliseconds instead of the 1s default.
+func newAuditCluster(t *testing.T, interval time.Duration, addrs ...string) *testCluster {
+	t.Helper()
+	c := &testCluster{t: t, net: simnet.New(simnet.Config{}), nodes: make(map[string]*Node)}
+	for _, a := range addrs {
+		ep, err := c.net.Join(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := Start(Config{
+			Transport:     totem.NewSimnetTransport(ep),
+			Totem:         fastTotem(),
+			ManagerTick:   10 * time.Millisecond,
+			AuditInterval: interval,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.RegisterFactory("Counter", func(oid string) ftcorba.Replica { return &counter{} })
+		c.nodes[a] = n
+	}
+	for _, a := range addrs {
+		if err := c.nodes[a].AwaitSynced(10 * time.Second); err != nil {
+			t.Fatalf("%s: AwaitSynced: %v", a, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, n := range c.nodes {
+			n.Stop()
+		}
+	})
+	return c
+}
+
+// awaitAudits polls until every node has collected at least want
+// observations (the marks flow through the total order, so all nodes'
+// collectors fill together).
+func awaitAudits(t *testing.T, c *testCluster, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done := true
+		for addr, n := range c.nodes {
+			s, ok := n.AuditSummary()
+			if !ok {
+				t.Fatalf("audit disabled on %s", addr)
+			}
+			if s.Observations < want {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("audit observations never accumulated")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAuditClusterMatchingDigests is the happy path: a 3-way active group
+// under writes audits clean — every node collects the same digests, the
+// cross-node merge finds no divergence, and no alarms fire.
+func TestAuditClusterMatchingDigests(t *testing.T) {
+	c := newAuditCluster(t, 25*time.Millisecond, "n1", "n2", "n3")
+	c.createGroup("ctr", ftcorba.Active, []string{"n1", "n2", "n3"}, 1)
+	obj := c.client("n1", "driver", "ctr")
+	for i := 0; i < 10; i++ {
+		add(t, obj, 1)
+	}
+	awaitAudits(t, c, 6) // at least two full 3-member epochs everywhere
+
+	feeds := make(map[string][]obs.AuditObservation)
+	var marks, reports uint64
+	for addr, n := range c.nodes {
+		s, _ := n.AuditSummary()
+		if s.Diverged || s.Divergences+s.Lags+s.Stalls > 0 {
+			t.Fatalf("%s alarmed on a healthy cluster: %+v (alarms %+v)", addr, s, n.AuditAlarms(0, 0))
+		}
+		if s.LastEpoch == 0 {
+			t.Fatalf("%s has no audit epoch: %+v", addr, s)
+		}
+		feeds[addr] = n.Audits(0, 0)
+		st := n.Stats()
+		marks += st.AuditMarks
+		reports += st.AuditReports
+	}
+	if marks == 0 || reports == 0 {
+		t.Fatalf("marks=%d reports=%d, want both > 0", marks, reports)
+	}
+	rows := obs.MergeAudits(feeds)
+	if len(rows) == 0 {
+		t.Fatal("merge produced no epochs")
+	}
+	for _, row := range rows {
+		if row.Diverged || row.Conflicted {
+			t.Fatalf("healthy cluster diverged: %+v", row)
+		}
+	}
+}
+
+// TestAuditPassivePrimaryOnly: in a warm-passive group only the primary
+// executes, so only the primary's digest is comparable — backups hold
+// checkpoint-stale state and must neither report nor be expected.
+func TestAuditPassivePrimaryOnly(t *testing.T) {
+	c := newAuditCluster(t, 25*time.Millisecond, "n1", "n2", "n3")
+	c.createGroup("wp", ftcorba.WarmPassive, []string{"n1", "n2", "n3"}, 1)
+	obj := c.client("n1", "driver", "wp")
+	for i := 0; i < 5; i++ {
+		add(t, obj, 1)
+	}
+	awaitAudits(t, c, 2)
+
+	reporters := make(map[string]bool)
+	for addr, n := range c.nodes {
+		s, _ := n.AuditSummary()
+		if s.Diverged || s.Divergences+s.Lags+s.Stalls > 0 {
+			t.Fatalf("%s alarmed on a healthy passive group: %+v", addr, s)
+		}
+		for _, o := range n.Audits(0, 0) {
+			if o.Group == "wp" {
+				reporters[o.Node] = true
+			}
+		}
+	}
+	if len(reporters) != 1 {
+		t.Fatalf("passive group reporters = %v, want the primary only", reporters)
+	}
+}
+
+// TestAuditEndpoint checks /audit's shape, cursor pagination and the
+// ?alarms query against a live fast-audited group.
+func TestAuditEndpoint(t *testing.T) {
+	c := newAuditCluster(t, 25*time.Millisecond, "a1")
+	c.createGroup("grp", ftcorba.Active, []string{"a1"}, 1)
+	awaitAudits(t, c, 3)
+	srv := httptest.NewServer(c.nodes["a1"].AdminHandler())
+	defer srv.Close()
+
+	var page struct {
+		Node    string                 `json:"node"`
+		Enabled bool                   `json:"enabled"`
+		Summary obs.AuditSummary       `json:"summary"`
+		Next    uint64                 `json:"next"`
+		Audits  []obs.AuditObservation `json:"audits"`
+		Alarms  []obs.AuditAlarm       `json:"alarms"`
+	}
+	get := func(query string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/audit" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /audit%s: %d", query, resp.StatusCode)
+		}
+		page.Audits, page.Alarms = nil, nil
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	get("")
+	if page.Node != "a1" || !page.Enabled || len(page.Audits) == 0 {
+		t.Fatalf("audit page = %+v", page)
+	}
+	if page.Summary.LastEpoch == 0 || page.Summary.Observations == 0 {
+		t.Fatalf("summary = %+v", page.Summary)
+	}
+	for _, o := range page.Audits {
+		if o.Group != "grp" || o.Node != "a1" || o.Epoch == 0 || o.Seq <= o.Epoch {
+			t.Fatalf("bad observation: %+v", o)
+		}
+	}
+
+	// Cursor pagination: one observation per page, strictly advancing.
+	resp := get("?n=1")
+	if len(page.Audits) != 1 {
+		t.Fatalf("n=1 page has %d audits", len(page.Audits))
+	}
+	first := page.Audits[0].Index
+	if page.Next != first || resp.Header.Get("X-Eternal-Next") != itoa(first) {
+		t.Fatalf("next cursor = %d / %q, want %d", page.Next, resp.Header.Get("X-Eternal-Next"), first)
+	}
+	get("?since=" + itoa(first) + "&n=1")
+	if len(page.Audits) != 1 || page.Audits[0].Index <= first {
+		t.Fatalf("pagination after index %d returned %+v", first, page.Audits)
+	}
+
+	// A healthy group has no alarms; the query must still be accepted.
+	get("?alarms=5")
+	if len(page.Alarms) != 0 {
+		t.Fatalf("unexpected alarms: %+v", page.Alarms)
+	}
+}
+
+// TestHealthzDivergence503: a latched divergence must turn /healthz into
+// 503 while the body still carries the full report (the last audited
+// epoch included), and a cleared divergence restores 200.
+func TestHealthzDivergence503(t *testing.T) {
+	c := newAuditCluster(t, 25*time.Millisecond, "a1")
+	c.createGroup("grp", ftcorba.Active, []string{"a1"}, 1)
+	awaitAudits(t, c, 1)
+	srv := httptest.NewServer(c.nodes["a1"].AdminHandler())
+	defer srv.Close()
+
+	// Inject a diverged epoch straight into the collector: epoch matching
+	// is position-independent, so two mismatched digests latch the group.
+	col := c.nodes["a1"].AuditCollector()
+	s, _ := c.nodes["a1"].AuditSummary()
+	bad := s.LastEpoch + 1000
+	col.Observe(obs.AuditObservation{Group: "grp", Node: "x", Epoch: bad, Digest: 1})
+	col.Observe(obs.AuditObservation{Group: "grp", Node: "y", Epoch: bad, Digest: 2})
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Synced bool              `json:"synced"`
+		Audit  *obs.AuditSummary `json:"audit"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with divergence = %d, want 503", resp.StatusCode)
+	}
+	if !rep.Synced || rep.Audit == nil || !rep.Audit.Diverged || rep.Audit.LastEpoch < bad {
+		t.Fatalf("healthz body = %+v", rep)
+	}
+
+	// A clean complete epoch clears the episode and restores 200.
+	col.BeginEpoch("grp", bad+1, []string{"x", "y"}, time.Now())
+	col.Observe(obs.AuditObservation{Group: "grp", Node: "x", Epoch: bad + 1, Digest: 3})
+	col.Observe(obs.AuditObservation{Group: "grp", Node: "y", Epoch: bad + 1, Digest: 3})
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after clean epoch = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestNodeStartStopNoGoroutineLeak cycles a node (with the audit and span
+// machinery running against a live group) and demands the goroutine count
+// return to its baseline: tickers, sweepers and dispatchers must all stop
+// with the node.
+func TestNodeStartStopNoGoroutineLeak(t *testing.T) {
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	for i := 0; i < 4; i++ {
+		net := simnet.New(simnet.Config{})
+		ep, err := net.Join("leak")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := Start(Config{
+			Transport:       totem.NewSimnetTransport(ep),
+			Totem:           fastTotem(),
+			ManagerTick:     10 * time.Millisecond,
+			AuditInterval:   20 * time.Millisecond,
+			SyncSelfDeclare: 50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.RegisterFactory("Counter", func(oid string) ftcorba.Replica { return &counter{} })
+		if err := n.AwaitSynced(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		err = n.CreateGroup(replication.GroupSpec{
+			Name: "g", TypeName: "Counter",
+			Props: ftcorba.Properties{Style: ftcorba.Active, InitialReplicas: 1, MinReplicas: 1},
+			Nodes: []string{"leak"},
+		}, 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(60 * time.Millisecond) // let a few audit epochs run
+		n.Stop()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			sz := runtime.Stack(buf, true)
+			t.Fatalf("goroutines grew from %d to %d after 4 start/stop cycles:\n%s",
+				base, runtime.NumGoroutine(), buf[:sz])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -39,6 +39,10 @@ const (
 	// checkpoint's log GC (§3.3: the log holds the messages that follow
 	// the checkpoint — its capture point, not its delivery).
 	itemCheckpointMark
+	// itemAuditCapture digests the replica's state at an audit mark's
+	// position (xferID carries the epoch — the mark's delivery seq) and
+	// multicasts the digest as a KAudit report.
+	itemAuditCapture
 )
 
 // dispatchItem is one unit of ordered work for a replica's dispatcher.
@@ -250,7 +254,45 @@ func (h *replicaHost) process(item dispatchItem) {
 		h.promote()
 	case itemCheckpointMark:
 		h.ckptMarks[item.xferID] = h.log.Len()
+	case itemAuditCapture:
+		h.auditReport(item.xferID)
 	}
+}
+
+// auditReport digests the replica's state at an audit mark's agreed
+// position in the total order and multicasts the digest. Because the
+// dispatcher is serial, the digest runs exactly between the invocations
+// ordered around the mark — the same logical point on every member, even
+// one replaying a held recovery queue. The digest covers the canonically
+// encoded application state (get_state) and the request duplicate filter,
+// the two kinds of state every active member must hold identically.
+func (h *replicaHost) auditReport(epoch uint64) {
+	if h.replica == nil {
+		return
+	}
+	appState, err := h.invokeInternal(ftcorba.OpGetState, nil)
+	if err != nil {
+		// NoStateAvailable or a wedged instance: skip this epoch; the
+		// collector's stall deadline covers a persistently silent member.
+		return
+	}
+	filterState := replication.EncodeFilterState(h.reqFilter.Snapshot())
+	totalLogged, _ := h.log.Stats()
+	rec := replication.AuditRecord{
+		Epoch:      epoch,
+		LSN:        totalLogged,
+		Digest:     replication.DigestState(appState, filterState),
+		StateBytes: uint32(len(appState)),
+	}
+	h.node.counters.auditReports.Add(1)
+	h.node.multicast(&replication.Envelope{
+		Kind:    replication.KAudit,
+		Group:   h.group,
+		Node:    h.node.addr,
+		OpID:    replication.AuditReport,
+		XferID:  epoch,
+		Payload: rec.Encode(),
+	})
 }
 
 // executeRequest injects one invocation into the replica's ORB and

@@ -209,6 +209,7 @@ func (n *Node) handleView(v *totem.Membership) {
 			Detail: fmt.Sprintf("epoch=%d", v.Epoch),
 		})
 		for _, name := range n.table.NodeFailed(node) {
+			n.audit.MemberRemoved(name, node)
 			n.resetSignal(recoveredKey(name, node))
 			n.resetSignal(promotedKey(name, node))
 			n.signal(removedKey(name, node))
@@ -277,6 +278,8 @@ func (n *Node) handleEnvelope(seq uint64, env *replication.Envelope) {
 		n.handleStateRetransmit(env)
 	case replication.KCheckpoint:
 		n.handleCheckpoint(seq, env)
+	case replication.KAudit:
+		n.handleAudit(seq, env)
 	case replication.KSyncRequest:
 		if env.Node != n.addr {
 			// Snapshot at this position; every synced node answers (the
@@ -373,6 +376,7 @@ func (n *Node) handleRemove(seq uint64, env *replication.Envelope) {
 		n.logger().Info("replica removed", "group", env.Group)
 	}
 	if removed {
+		n.audit.MemberRemoved(env.Group, env.Node)
 		n.resetSignal(recoveredKey(env.Group, env.Node))
 		n.resetSignal(promotedKey(env.Group, env.Node))
 		n.reconcile(env.Group)
@@ -516,6 +520,90 @@ func (n *Node) handleCheckpoint(seq uint64, env *replication.Envelope) {
 	}
 }
 
+// --- live consistency audit ---
+
+// handleAudit evaluates the consistency audit at the envelope's agreed
+// position. An AuditMark fixes an epoch (identified by the mark's own
+// delivery seq): the collector learns who must report, and this node's
+// replica — if it is a reporter — digests its state at exactly this point
+// in its serial dispatch queue. An AuditReport feeds the collector's
+// epoch-by-epoch matching. Members recovering at the mark's position are
+// exempt from expectations until their manifest sync point; their held
+// queues still digest at the correct logical position, so their late
+// reports participate in matching and must agree.
+func (n *Node) handleAudit(seq uint64, env *replication.Envelope) {
+	if n.audit == nil {
+		return
+	}
+	g, ok := n.table.Get(env.Group)
+	if !ok {
+		return
+	}
+	switch env.OpID {
+	case replication.AuditMark:
+		// Expected reporters at this position — deterministic from the
+		// table: operational members; for passive styles only the primary
+		// (backups legitimately hold checkpoint-stale state, so their
+		// digests are not comparable).
+		var expected []string
+		for _, m := range g.Members {
+			if m.State != replication.MemberOperational {
+				continue
+			}
+			if g.Spec.Props.Style != ftcorba.Active && !g.IsPrimary(m.Node) {
+				continue
+			}
+			expected = append(expected, m.Node)
+		}
+		n.noteAuditAlarms(n.audit.BeginEpoch(env.Group, seq, expected, time.Now()))
+		report := g.HasMember(n.addr)
+		if g.Spec.Props.Style != ftcorba.Active {
+			report = g.IsPrimary(n.addr)
+		}
+		if h := n.hosts[env.Group]; report && h != nil {
+			h.q.push(dispatchItem{kind: itemAuditCapture, xferID: seq})
+		}
+	case replication.AuditReport:
+		rec, err := replication.DecodeAuditRecord(env.Payload)
+		if err != nil {
+			return
+		}
+		n.noteAuditAlarms(n.audit.Observe(obs.AuditObservation{
+			Group: env.Group, Node: env.Node, Epoch: rec.Epoch, Seq: seq,
+			Digest: rec.Digest, LSN: rec.LSN, StateBytes: rec.StateBytes,
+		}))
+	}
+}
+
+// noteAuditAlarms surfaces collector alarms: counters, flight-recorder
+// events (local class — a node that synchronized mid-stream holds a
+// shorter matching history, so alarm sets may legitimately differ), and
+// the log.
+func (n *Node) noteAuditAlarms(alarms []obs.AuditAlarm) {
+	for _, a := range alarms {
+		var ev string
+		switch a.Kind {
+		case obs.AuditDivergence:
+			n.counters.auditDivergences.Add(1)
+			ev = obs.EventAuditDivergence
+		case obs.AuditLag:
+			n.counters.auditLags.Add(1)
+			ev = obs.EventAuditLag
+		case obs.AuditStall:
+			n.counters.auditStalls.Add(1)
+			ev = obs.EventAuditStall
+		default:
+			continue
+		}
+		n.recorder.Record(obs.Event{
+			Type: ev, Group: a.Group, Node: a.Node,
+			Value: int64(a.Epoch), Detail: a.Detail,
+		})
+		n.logger().Warn("consistency audit alarm", "kind", a.Kind,
+			"group", a.Group, "node", a.Node, "epoch", a.Epoch, "detail", a.Detail)
+	}
+}
+
 // startMonitor begins pull-monitoring a hosted replica instance at its
 // FaultMonitoringInterval (disabled when the interval is zero, and for
 // log-only cold backups).
@@ -547,9 +635,32 @@ func (n *Node) sweep(now time.Time) {
 		return
 	}
 	n.sweepXfers(now)
+	if n.audit != nil {
+		n.noteAuditAlarms(n.audit.SweepStalls(now, auditStallFactor*n.cfg.AuditInterval))
+	}
 	for _, name := range n.table.Names() {
 		g, _ := n.table.Get(name)
 		props := g.Spec.Props
+
+		// Live consistency audit: the primary's node multicasts the epoch
+		// marker. Scheduling is local but evaluation is not — the mark's
+		// delivery position defines the epoch identically everywhere.
+		if n.audit != nil && g.IsPrimary(n.addr) {
+			if due, ok := n.auditDue[name]; !ok {
+				// First sweep as primary: full interval before the first
+				// mark, so creation and promotion don't burst markers.
+				n.auditDue[name] = now.Add(n.cfg.AuditInterval)
+			} else if now.After(due) {
+				n.auditDue[name] = now.Add(n.cfg.AuditInterval)
+				n.counters.auditMarks.Add(1)
+				n.multicast(&replication.Envelope{
+					Kind:  replication.KAudit,
+					Group: name,
+					Node:  n.addr,
+					OpID:  replication.AuditMark,
+				})
+			}
+		}
 
 		// Checkpoint scheduler (paper §5: frequency fixed per object at
 		// deployment, extended with an every-N-messages trigger): the

@@ -89,7 +89,27 @@ type Config struct {
 	// every phase mark becomes a nil-receiver no-op, the configuration the
 	// span-overhead benchmark compares against.
 	SpanCapacity int
+	// AuditInterval is the live consistency audit's period: each group's
+	// primary multicasts a KAudit mark at this interval, every
+	// instance-bearing member digests its state at the mark's agreed
+	// position, and every node's collector matches the digests epoch by
+	// epoch. Zero selects the 1s default; negative disables the audit
+	// entirely — the configuration the audit-overhead benchmark compares
+	// against.
+	AuditInterval time.Duration
+	// AuditCapacity bounds the audit collector's observation journal
+	// (default obs.DefaultAuditCapacity).
+	AuditCapacity int
+	// AuditLagEpochs is how many completed audit epochs a member may miss
+	// before the collector raises a lag alarm (default
+	// obs.DefaultAuditLagEpochs).
+	AuditLagEpochs int
 }
+
+// auditStallFactor sets the stall deadline as a multiple of the audit
+// interval: an expected member silent for this many intervals past an
+// epoch's mark — with peers reporting — is stalled.
+const auditStallFactor = 8
 
 // Node is one Eternal processor.
 type Node struct {
@@ -157,8 +177,12 @@ type Node struct {
 	tracer       *obs.Tracer
 	timelines    *obs.TimelineLog
 	recorder     *obs.Recorder
-	spans        *obs.SpanRecorder // nil when SpanCapacity < 0
+	spans        *obs.SpanRecorder   // nil when SpanCapacity < 0
+	audit        *obs.AuditCollector // nil when AuditInterval < 0
 	traceCounter atomic.Uint64
+	// auditDue schedules the next audit mark per group this node is
+	// primary of (loop-owned, like the table it follows).
+	auditDue map[string]time.Time
 	// lastSeq is the sequence number of the most recent totem delivery,
 	// the anchor stamped onto local flight-recorder events.
 	lastSeq atomic.Uint64
@@ -197,6 +221,9 @@ func Start(cfg Config) (*Node, error) {
 	if cfg.StateChunksPerToken <= 0 {
 		cfg.StateChunksPerToken = 2
 	}
+	if cfg.AuditInterval == 0 {
+		cfg.AuditInterval = time.Second
+	}
 	metrics := cfg.Metrics
 	if metrics == nil {
 		metrics = obs.NewRegistry()
@@ -205,6 +232,10 @@ func Start(cfg Config) (*Node, error) {
 	var spans *obs.SpanRecorder
 	if cfg.SpanCapacity >= 0 {
 		spans = obs.NewSpanRecorder(cfg.Transport.Addr(), cfg.SpanCapacity)
+	}
+	var audit *obs.AuditCollector
+	if cfg.AuditInterval > 0 {
+		audit = obs.NewAuditCollector(cfg.Transport.Addr(), cfg.AuditCapacity, cfg.AuditLagEpochs)
 	}
 	tc := cfg.Totem
 	tc.Transport = cfg.Transport
@@ -237,6 +268,8 @@ func Start(cfg Config) (*Node, error) {
 		metrics:    metrics,
 		tracer:     obs.NewTracer(cfg.TraceCapacity),
 		spans:      spans,
+		audit:      audit,
+		auditDue:   make(map[string]time.Time),
 		timelines:  obs.NewTimelineLog(0),
 		stopCh:     make(chan struct{}),
 		loopDone:   make(chan struct{}),
@@ -257,6 +290,15 @@ func Start(cfg Config) (*Node, error) {
 	metrics.CounterFunc("eternal_spans_dropped_total",
 		"journalled spans evicted to bound the span ring",
 		func() float64 { return float64(spans.Dropped()) })
+	metrics.CounterFunc("eternal_audit_observations_total",
+		"consistency-audit digests collected (all members, via the total order)",
+		func() float64 { return float64(audit.Total()) })
+	metrics.CounterFunc("eternal_audit_observations_dropped_total",
+		"audit observations evicted to bound the journal",
+		func() float64 { return float64(audit.Dropped()) })
+	metrics.GaugeFunc("eternal_audit_last_epoch",
+		"most recent consistency-audit epoch observed",
+		func() float64 { return float64(audit.LastEpoch()) })
 	n.invocationHist = metrics.Histogram("eternal_invocation_seconds",
 		"end-to-end invocation latency: interception to reply delivery", nil)
 	n.recoveryCapture = metrics.Histogram("eternal_recovery_capture_seconds",

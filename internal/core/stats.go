@@ -50,6 +50,21 @@ type Stats struct {
 	// StateChunksRejected counts received chunks dropped for checksum or
 	// size mismatch against their manifest.
 	StateChunksRejected uint64
+	// AuditMarks counts consistency-audit epoch markers this node
+	// multicast as a group primary.
+	AuditMarks uint64
+	// AuditReports counts audit digests this node's replicas computed and
+	// multicast.
+	AuditReports uint64
+	// AuditDivergences counts divergence alarms raised by the collector:
+	// two members' digests differed for one epoch.
+	AuditDivergences uint64
+	// AuditLags counts lag alarms: a member trailing the audit by more
+	// than the configured number of epochs.
+	AuditLags uint64
+	// AuditStalls counts stall alarms: an expected member silent past the
+	// deadline.
+	AuditStalls uint64
 }
 
 // nodeCounters is the backing store for Stats: registry-owned counters, so
@@ -70,6 +85,11 @@ type nodeCounters struct {
 	stateChunkStalls     *obs.Counter
 	stateRetransmitReqs  *obs.Counter
 	stateChunksRejected  *obs.Counter
+	auditMarks           *obs.Counter
+	auditReports         *obs.Counter
+	auditDivergences     *obs.Counter
+	auditLags            *obs.Counter
+	auditStalls          *obs.Counter
 }
 
 func newNodeCounters(r *obs.Registry) nodeCounters {
@@ -89,6 +109,11 @@ func newNodeCounters(r *obs.Registry) nodeCounters {
 		stateChunkStalls:     r.Counter("eternal_state_chunk_stalls_total", "transfer-streamer waits for the next token rotation"),
 		stateRetransmitReqs:  r.Counter("eternal_state_retransmit_requests_total", "missing-chunk requests multicast while assembling"),
 		stateChunksRejected:  r.Counter("eternal_state_chunks_rejected_total", "received chunks dropped for checksum or size mismatch"),
+		auditMarks:           r.Counter("eternal_audit_marks_total", "consistency-audit epoch markers multicast as primary"),
+		auditReports:         r.Counter("eternal_audit_reports_total", "audit digests computed and multicast by local replicas"),
+		auditDivergences:     r.Counter("eternal_audit_divergence_alarms_total", "audit divergence alarms: digest mismatch within one epoch"),
+		auditLags:            r.Counter("eternal_audit_lag_alarms_total", "audit lag alarms: member trailing beyond the epoch threshold"),
+		auditStalls:          r.Counter("eternal_audit_stall_alarms_total", "audit stall alarms: expected member silent past the deadline"),
 	}
 }
 
@@ -109,6 +134,11 @@ func (c *nodeCounters) snapshot() Stats {
 		StateChunkStalls:        c.stateChunkStalls.Value(),
 		StateRetransmitRequests: c.stateRetransmitReqs.Value(),
 		StateChunksRejected:     c.stateChunksRejected.Value(),
+		AuditMarks:              c.auditMarks.Value(),
+		AuditReports:            c.auditReports.Value(),
+		AuditDivergences:        c.auditDivergences.Value(),
+		AuditLags:               c.auditLags.Value(),
+		AuditStalls:             c.auditStalls.Value(),
 	}
 }
 
@@ -167,6 +197,31 @@ func (n *Node) SpanRecorder() *obs.SpanRecorder { return n.spans }
 func (n *Node) TokenRotations(max int) []obs.TokenRotation {
 	return n.proc.Rotations(max)
 }
+
+// Audits returns up to max journalled consistency-audit observations
+// with Index > since, oldest first (max <= 0 returns all retained). Nil
+// when the audit is disabled (Config.AuditInterval < 0).
+func (n *Node) Audits(since uint64, max int) []obs.AuditObservation {
+	return n.audit.Since(since, max)
+}
+
+// AuditAlarms returns up to max journalled audit alarms with Index >
+// since, oldest first (max <= 0 returns all retained).
+func (n *Node) AuditAlarms(since uint64, max int) []obs.AuditAlarm {
+	return n.audit.Alarms(since, max)
+}
+
+// AuditSummary returns the collector's condensed live state; ok is false
+// when the audit is disabled.
+func (n *Node) AuditSummary() (obs.AuditSummary, bool) {
+	if n.audit == nil {
+		return obs.AuditSummary{}, false
+	}
+	return n.audit.Summary(), true
+}
+
+// AuditCollector returns the node's audit collector (nil when disabled).
+func (n *Node) AuditCollector() *obs.AuditCollector { return n.audit }
 
 // logger returns the node's structured logger (a discarding logger when
 // none was configured).

@@ -1,0 +1,654 @@
+package obs
+
+import (
+	"fmt"
+	"maps"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Audit alarm kinds (AuditAlarm.Kind).
+const (
+	// AuditDivergence: two members reported different digests for the
+	// same audit epoch — the paper's byte-identical-state claim failed.
+	AuditDivergence = "divergence"
+	// AuditLag: a member has missed more than the configured number of
+	// consecutive audit epochs while its peers kept reporting.
+	AuditLag = "lag"
+	// AuditStall: an expected member reported nothing for an epoch within
+	// the deadline (and nothing later either).
+	AuditStall = "stall"
+)
+
+// DefaultAuditCapacity bounds the observation journal when no capacity is
+// configured.
+const DefaultAuditCapacity = 1024
+
+// DefaultAuditLagEpochs is the default lag threshold: a member trailing
+// by more than this many completed epochs raises a lag alarm.
+const DefaultAuditLagEpochs = 3
+
+// auditAlarmCapacity bounds the alarm journal. Alarms are raised once per
+// condition episode (latched), so the ring stays tiny in healthy clusters.
+const auditAlarmCapacity = 256
+
+// auditEpochWindow bounds the per-group epoch history the matcher keeps.
+// It caps both the lag a collector can measure and the stall lookback.
+const auditEpochWindow = 32
+
+// AuditObservation is one member's digest for one audit epoch, as
+// evaluated at the report's agreed position in the delivery order. Every
+// synchronized node's collector receives the same observations in the
+// same order, so their matching verdicts agree.
+type AuditObservation struct {
+	// Index is the collector-assigned monotonic id (from 1); /audit
+	// paginates by it.
+	Index uint64 `json:"index"`
+	// At is the collecting node's wall clock at the report's delivery.
+	At time.Time `json:"at"`
+	// Group and Node identify the reporting member.
+	Group string `json:"group"`
+	Node  string `json:"node"`
+	// Epoch is the audit mark's delivery sequence number.
+	Epoch uint64 `json:"epoch"`
+	// Seq is the report's own delivery position.
+	Seq uint64 `json:"seq"`
+	// Digest is the member's state digest for the epoch.
+	Digest uint32 `json:"digest"`
+	// LSN is the member's checkpoint-log position (diagnostic).
+	LSN uint64 `json:"lsn"`
+	// StateBytes is the digested application-state size.
+	StateBytes uint32 `json:"state_bytes"`
+}
+
+// AuditAlarm is one raised audit condition. Alarms latch: a diverged
+// group or lagging/stalled member alarms once, and the condition clears
+// silently when a later epoch is clean.
+type AuditAlarm struct {
+	Index uint64    `json:"index"`
+	At    time.Time `json:"at"`
+	// Kind is one of AuditDivergence, AuditLag, AuditStall.
+	Kind  string `json:"kind"`
+	Group string `json:"group"`
+	// Node is the trailing/silent member for lag and stall alarms (empty
+	// for divergence, which indicts the group).
+	Node string `json:"node,omitempty"`
+	// Epoch is the epoch at which the condition was detected.
+	Epoch  uint64 `json:"epoch"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// AuditSummary is the collector's condensed live state, embedded in
+// /healthz and /cluster.
+type AuditSummary struct {
+	// LastEpoch is the most recent audit epoch observed on any group.
+	LastEpoch uint64 `json:"last_epoch"`
+	// Observations counts digests ever collected.
+	Observations uint64 `json:"observations"`
+	// Diverged reports whether any group is currently diverged.
+	Diverged bool `json:"diverged"`
+	// Cumulative alarm counts by kind.
+	Divergences uint64 `json:"divergences"`
+	Lags        uint64 `json:"lags"`
+	Stalls      uint64 `json:"stalls"`
+	// Groups is the per-group digest state, sorted by name.
+	Groups []AuditGroupStatus `json:"groups,omitempty"`
+}
+
+// AuditGroupStatus is one group's audit state in the summary.
+type AuditGroupStatus struct {
+	Group string `json:"group"`
+	// Epoch is the group's most recent audit epoch.
+	Epoch uint64 `json:"epoch"`
+	// Diverged reports whether the group is currently diverged (latched
+	// until a complete clean epoch).
+	Diverged bool                `json:"diverged"`
+	Members  []AuditMemberStatus `json:"members,omitempty"`
+}
+
+// AuditMemberStatus is one member's most recent digest and trail state.
+type AuditMemberStatus struct {
+	Node string `json:"node"`
+	// Epoch and Digest are the member's last reported epoch and digest.
+	Epoch  uint64 `json:"epoch"`
+	Digest uint32 `json:"digest"`
+	// Lag counts completed retained epochs the member was expected in but
+	// has not reported.
+	Lag int `json:"lag"`
+	// Lagging / Stalled are the latched alarm states.
+	Lagging bool `json:"lagging,omitempty"`
+	Stalled bool `json:"stalled,omitempty"`
+}
+
+// auditRing is the bounded journal shared by observations and alarms:
+// same arithmetic as the flight recorder's ring, generic over the entry.
+type auditRing[T any] struct {
+	buf     []T
+	head, n int
+	next    uint64 // next Index to assign (starts at 1)
+	dropped uint64
+}
+
+func newAuditRing[T any](capacity int) auditRing[T] {
+	return auditRing[T]{buf: make([]T, capacity), next: 1}
+}
+
+// add stores v (whose Index the caller set to r.next) and advances.
+func (r *auditRing[T]) add(v T) {
+	r.next++
+	if r.n == len(r.buf) {
+		r.buf[r.head] = v
+		r.head = (r.head + 1) % len(r.buf)
+		r.dropped++
+		return
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+// since returns up to max retained entries with Index > after, oldest
+// first (max <= 0 returns all retained).
+func (r *auditRing[T]) since(after uint64, max int) []T {
+	first := r.next - uint64(r.n)
+	skip := 0
+	if after >= first {
+		skip = int(after - first + 1)
+	}
+	if skip >= r.n {
+		return nil
+	}
+	count := r.n - skip
+	if max > 0 && count > max {
+		count = max
+	}
+	out := make([]T, count)
+	for i := 0; i < count; i++ {
+		out[i] = r.buf[(r.head+skip+i)%len(r.buf)]
+	}
+	return out
+}
+
+// last returns the most recent max entries, oldest first.
+func (r *auditRing[T]) last(max int) []T {
+	if max <= 0 || max > r.n {
+		max = r.n
+	}
+	return r.since(r.next-1-uint64(max), max)
+}
+
+// auditEpoch is one epoch's matching state for one group.
+type auditEpoch struct {
+	epoch uint64
+	// at is the local wall clock at the mark's delivery — the stall
+	// deadline's origin.
+	at time.Time
+	// expected lists the members whose report this epoch awaits:
+	// operational at the mark's position (recovering members are exempt
+	// until their sync point) and, for passive styles, only the primary
+	// (backups legitimately hold checkpoint-stale state).
+	expected map[string]bool
+	// reports maps reporting member -> digest. Reports from non-expected
+	// members (a recovering replica draining its held queue) still
+	// participate: their digests are computed at the same agreed position
+	// and must match.
+	reports map[string]uint32
+}
+
+// auditMember is one member's trail state within a group.
+type auditMember struct {
+	lastEpoch  uint64
+	lastDigest uint32
+	lastAt     time.Time
+	lagging    bool
+	stalled    bool
+}
+
+// auditGroup is one group's live matching state.
+type auditGroup struct {
+	epochs    []*auditEpoch // ascending, at most auditEpochWindow
+	members   map[string]*auditMember
+	diverged  bool
+	lastEpoch uint64
+}
+
+// missed counts completed retained epochs (all but the newest) in which
+// node was expected but has not reported — the lag measure.
+func (g *auditGroup) missed(node string) int {
+	count := 0
+	for i := 0; i < len(g.epochs)-1; i++ {
+		ep := g.epochs[i]
+		if ep.expected[node] && len(ep.reports) > 0 {
+			if _, ok := ep.reports[node]; !ok {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+func (g *auditGroup) member(node string) *auditMember {
+	m, ok := g.members[node]
+	if !ok {
+		m = &auditMember{}
+		g.members[node] = m
+	}
+	return m
+}
+
+// AuditCollector matches audit digests epoch-by-epoch and runs the
+// divergence / lag / stall state machines. One collector per node; all
+// methods are safe from any goroutine, and all are nil-receiver no-ops so
+// a disabled audit costs nothing.
+type AuditCollector struct {
+	mu     sync.Mutex
+	origin string
+	lag    int
+
+	obsRing   auditRing[AuditObservation]
+	alarmRing auditRing[AuditAlarm]
+
+	groups    map[string]*auditGroup
+	lastEpoch uint64
+
+	divergences uint64
+	lags        uint64
+	stalls      uint64
+}
+
+// NewAuditCollector creates a collector for the named node retaining up
+// to capacity observations (DefaultAuditCapacity when capacity <= 0) and
+// raising lag alarms beyond lagEpochs missed epochs
+// (DefaultAuditLagEpochs when <= 0).
+func NewAuditCollector(origin string, capacity, lagEpochs int) *AuditCollector {
+	if capacity <= 0 {
+		capacity = DefaultAuditCapacity
+	}
+	if lagEpochs <= 0 {
+		lagEpochs = DefaultAuditLagEpochs
+	}
+	return &AuditCollector{
+		origin:    origin,
+		lag:       lagEpochs,
+		obsRing:   newAuditRing[AuditObservation](capacity),
+		alarmRing: newAuditRing[AuditAlarm](auditAlarmCapacity),
+		groups:    make(map[string]*auditGroup),
+	}
+}
+
+func (c *AuditCollector) group(name string) *auditGroup {
+	g, ok := c.groups[name]
+	if !ok {
+		g = &auditGroup{members: make(map[string]*auditMember)}
+		c.groups[name] = g
+	}
+	return g
+}
+
+// raise files one alarm and bumps its kind counter (c.mu held).
+func (c *AuditCollector) raise(kind, group, node string, epoch uint64, detail string) AuditAlarm {
+	switch kind {
+	case AuditDivergence:
+		c.divergences++
+	case AuditLag:
+		c.lags++
+	case AuditStall:
+		c.stalls++
+	}
+	a := AuditAlarm{
+		Index: c.alarmRing.next, At: time.Now(),
+		Kind: kind, Group: group, Node: node, Epoch: epoch, Detail: detail,
+	}
+	c.alarmRing.add(a)
+	return a
+}
+
+// BeginEpoch opens an audit epoch for a group at the mark's delivery:
+// epoch is the mark's sequence number and expected lists the members
+// whose reports the matcher awaits. It returns any lag alarms the new
+// epoch pushes members over the threshold of.
+func (c *AuditCollector) BeginEpoch(group string, epoch uint64, expected []string, at time.Time) []AuditAlarm {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.group(group)
+	if len(g.epochs) > 0 && epoch <= g.lastEpoch {
+		return nil // duplicate or regressed mark
+	}
+	ep := &auditEpoch{
+		epoch:    epoch,
+		at:       at,
+		expected: make(map[string]bool, len(expected)),
+		reports:  make(map[string]uint32),
+	}
+	for _, node := range expected {
+		ep.expected[node] = true
+	}
+	g.epochs = append(g.epochs, ep)
+	if len(g.epochs) > auditEpochWindow {
+		g.epochs = g.epochs[1:]
+	}
+	g.lastEpoch = epoch
+	if epoch > c.lastEpoch {
+		c.lastEpoch = epoch
+	}
+	var alarms []AuditAlarm
+	for _, node := range expected {
+		m := g.member(node)
+		missed := g.missed(node)
+		if missed > c.lag && !m.lagging {
+			m.lagging = true
+			alarms = append(alarms, c.raise(AuditLag, group, node, epoch,
+				fmt.Sprintf("missed %d epochs, last report epoch=%d", missed, m.lastEpoch)))
+		}
+	}
+	return alarms
+}
+
+// Observe records one member's digest report and returns any divergence
+// alarm the report triggers. A report for an epoch the collector never
+// saw the mark of (it joined the domain later) opens an implicit epoch
+// with no expectations: matching still applies, deadlines do not.
+func (c *AuditCollector) Observe(o AuditObservation) []AuditAlarm {
+	if c == nil {
+		return nil
+	}
+	if o.At.IsZero() {
+		o.At = time.Now()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.group(o.Group)
+	var ep *auditEpoch
+	for _, e := range g.epochs {
+		if e.epoch == o.Epoch {
+			ep = e
+			break
+		}
+	}
+	if ep == nil && (len(g.epochs) == 0 || o.Epoch > g.lastEpoch) {
+		// A report whose mark this collector never saw (it synchronized
+		// after the mark's position): open an implicit epoch.
+		ep = &auditEpoch{epoch: o.Epoch, at: o.At,
+			expected: make(map[string]bool), reports: make(map[string]uint32)}
+		g.epochs = append(g.epochs, ep)
+		if len(g.epochs) > auditEpochWindow {
+			g.epochs = g.epochs[1:]
+		}
+		g.lastEpoch = o.Epoch
+	}
+	// Otherwise ep may stay nil: the epoch was evicted from the window —
+	// journal the observation but skip matching.
+	if o.Epoch > c.lastEpoch {
+		c.lastEpoch = o.Epoch
+	}
+	o.Index = c.obsRing.next
+	c.obsRing.add(o)
+
+	m := g.member(o.Node)
+	if o.Epoch >= m.lastEpoch {
+		m.lastEpoch = o.Epoch
+		m.lastDigest = o.Digest
+		m.lastAt = o.At
+	}
+	m.stalled = false
+	if m.lagging && g.missed(o.Node) <= c.lag {
+		m.lagging = false
+	}
+	if ep == nil {
+		return nil
+	}
+	ep.reports[o.Node] = o.Digest
+
+	// Divergence matching for this epoch.
+	distinct := make(map[uint32]bool, len(ep.reports))
+	for _, d := range ep.reports {
+		distinct[d] = true
+	}
+	var alarms []AuditAlarm
+	if len(distinct) > 1 {
+		if !g.diverged {
+			g.diverged = true
+			alarms = append(alarms, c.raise(AuditDivergence, o.Group, "", o.Epoch, divergenceDetail(ep)))
+		}
+	} else if g.diverged && len(ep.expected) > 0 && complete(ep) {
+		// A later epoch came back clean and complete: the episode is over.
+		g.diverged = false
+	}
+	return alarms
+}
+
+// complete reports whether every expected member has reported (c.mu held).
+func complete(ep *auditEpoch) bool {
+	for node := range ep.expected {
+		if _, ok := ep.reports[node]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// divergenceDetail renders an epoch's digests deterministically.
+func divergenceDetail(ep *auditEpoch) string {
+	nodes := slices.Sorted(maps.Keys(ep.reports))
+	parts := make([]string, 0, len(nodes))
+	for _, node := range nodes {
+		parts = append(parts, fmt.Sprintf("%s=%08x", node, ep.reports[node]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// MemberRemoved cancels a member's expectations (replica kill, processor
+// failure, fault reaction): pending epochs stop awaiting it, so its
+// silence raises no stall or lag alarms.
+func (c *AuditCollector) MemberRemoved(group, node string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.groups[group]
+	if !ok {
+		return
+	}
+	for _, ep := range g.epochs {
+		delete(ep.expected, node)
+	}
+	delete(g.members, node)
+}
+
+// SweepStalls raises stall alarms for members expected in an epoch older
+// than deadline that have reported neither it nor anything later. The
+// alarm latches per member until its next report.
+func (c *AuditCollector) SweepStalls(now time.Time, deadline time.Duration) []AuditAlarm {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var alarms []AuditAlarm
+	names := slices.Sorted(maps.Keys(c.groups))
+	for _, name := range names {
+		g := c.groups[name]
+		for _, ep := range g.epochs {
+			if now.Sub(ep.at) <= deadline {
+				break // epochs are ascending; the rest are younger
+			}
+			for node := range ep.expected {
+				if _, ok := ep.reports[node]; ok {
+					continue
+				}
+				m := g.member(node)
+				if m.stalled || m.lastEpoch >= ep.epoch {
+					continue
+				}
+				m.stalled = true
+				alarms = append(alarms, c.raise(AuditStall, name, node, ep.epoch,
+					fmt.Sprintf("no report for %s, last report epoch=%d",
+						now.Sub(ep.at).Round(time.Millisecond), m.lastEpoch)))
+			}
+		}
+	}
+	return alarms
+}
+
+// Since returns up to max journalled observations with Index > after,
+// oldest first (max <= 0 returns all retained).
+func (c *AuditCollector) Since(after uint64, max int) []AuditObservation {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.obsRing.since(after, max)
+}
+
+// Alarms returns up to max journalled alarms with Index > after, oldest
+// first (max <= 0 returns all retained).
+func (c *AuditCollector) Alarms(after uint64, max int) []AuditAlarm {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.alarmRing.since(after, max)
+}
+
+// LastAlarms returns the most recent max alarms, oldest first.
+func (c *AuditCollector) LastAlarms(max int) []AuditAlarm {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.alarmRing.last(max)
+}
+
+// Total reports how many observations were ever collected.
+func (c *AuditCollector) Total() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.obsRing.next - 1
+}
+
+// Dropped reports how many observations were evicted to bound the ring.
+func (c *AuditCollector) Dropped() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.obsRing.dropped
+}
+
+// LastEpoch reports the most recent epoch observed on any group.
+func (c *AuditCollector) LastEpoch() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastEpoch
+}
+
+// Summary condenses the collector's live state.
+func (c *AuditCollector) Summary() AuditSummary {
+	if c == nil {
+		return AuditSummary{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := AuditSummary{
+		LastEpoch:    c.lastEpoch,
+		Observations: c.obsRing.next - 1,
+		Divergences:  c.divergences,
+		Lags:         c.lags,
+		Stalls:       c.stalls,
+	}
+	for _, name := range slices.Sorted(maps.Keys(c.groups)) {
+		g := c.groups[name]
+		gs := AuditGroupStatus{Group: name, Epoch: g.lastEpoch, Diverged: g.diverged}
+		if g.diverged {
+			s.Diverged = true
+		}
+		for _, node := range slices.Sorted(maps.Keys(g.members)) {
+			m := g.members[node]
+			gs.Members = append(gs.Members, AuditMemberStatus{
+				Node: node, Epoch: m.lastEpoch, Digest: m.lastDigest,
+				Lag: g.missed(node), Lagging: m.lagging, Stalled: m.stalled,
+			})
+		}
+		s.Groups = append(s.Groups, gs)
+	}
+	return s
+}
+
+// AuditEpochRow is one (group, epoch) cell of a cluster-merged digest
+// matrix: every node's digest for that epoch, cross-checked across the
+// scraped feeds.
+type AuditEpochRow struct {
+	Group string
+	Epoch uint64
+	// Digests maps reporting node -> digest.
+	Digests map[string]uint32
+	// Diverged: two members reported different digests for this epoch.
+	Diverged bool
+	// Conflicted: two scraped feeds disagree about one member's digest
+	// for this epoch — a scrape- or transport-level inconsistency, which
+	// the total order should make impossible.
+	Conflicted bool
+}
+
+// MergeAudits merges audit observation feeds scraped from several nodes
+// into per-(group, epoch) rows, sorted by group then epoch. Every node's
+// feed carries all members' reports (they travel the total order), so
+// merging both widens the window and cross-checks the feeds against each
+// other.
+func MergeAudits(feeds map[string][]AuditObservation) []AuditEpochRow {
+	type key struct {
+		group string
+		epoch uint64
+	}
+	rows := make(map[key]*AuditEpochRow)
+	for _, feed := range feeds {
+		for _, o := range feed {
+			k := key{o.Group, o.Epoch}
+			row, ok := rows[k]
+			if !ok {
+				row = &AuditEpochRow{Group: o.Group, Epoch: o.Epoch, Digests: make(map[string]uint32)}
+				rows[k] = row
+			}
+			if prev, seen := row.Digests[o.Node]; seen && prev != o.Digest {
+				row.Conflicted = true
+			}
+			row.Digests[o.Node] = o.Digest
+		}
+	}
+	out := make([]AuditEpochRow, 0, len(rows))
+	for _, row := range rows {
+		first := true
+		var d0 uint32
+		for _, d := range row.Digests {
+			if first {
+				d0, first = d, false
+			} else if d != d0 {
+				row.Diverged = true
+			}
+		}
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Group != out[j].Group {
+			return out[i].Group < out[j].Group
+		}
+		return out[i].Epoch < out[j].Epoch
+	})
+	return out
+}

@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func countKind(alarms []AuditAlarm, kind string) int {
+	n := 0
+	for _, a := range alarms {
+		if a.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func obsAt(group, node string, epoch uint64, digest uint32) AuditObservation {
+	return AuditObservation{Group: group, Node: node, Epoch: epoch, Seq: epoch + 1, Digest: digest}
+}
+
+func TestAuditDivergenceRaiseLatchClear(t *testing.T) {
+	c := NewAuditCollector("n1", 0, 0)
+	t0 := time.Now()
+	c.BeginEpoch("g", 10, []string{"a", "b"}, t0)
+	if got := c.Observe(obsAt("g", "a", 10, 1)); len(got) != 0 {
+		t.Fatalf("single report alarmed: %+v", got)
+	}
+	got := c.Observe(obsAt("g", "b", 10, 2))
+	if countKind(got, AuditDivergence) != 1 {
+		t.Fatalf("mismatched digests raised %d divergence alarms, want 1: %+v", countKind(got, AuditDivergence), got)
+	}
+	if s := c.Summary(); !s.Diverged || s.Divergences != 1 {
+		t.Fatalf("summary after divergence = %+v", s)
+	}
+
+	// The alarm latches: another diverged epoch stays silent.
+	c.BeginEpoch("g", 20, []string{"a", "b"}, t0)
+	c.Observe(obsAt("g", "a", 20, 3))
+	if got := c.Observe(obsAt("g", "b", 20, 4)); len(got) != 0 {
+		t.Fatalf("latched divergence re-alarmed: %+v", got)
+	}
+
+	// A complete, uniform epoch clears the episode silently...
+	c.BeginEpoch("g", 30, []string{"a", "b"}, t0)
+	c.Observe(obsAt("g", "a", 30, 5))
+	if got := c.Observe(obsAt("g", "b", 30, 5)); len(got) != 0 {
+		t.Fatalf("clean epoch alarmed: %+v", got)
+	}
+	if s := c.Summary(); s.Diverged {
+		t.Fatal("divergence did not clear on a clean complete epoch")
+	}
+
+	// ...and a fresh divergence is a fresh episode.
+	c.BeginEpoch("g", 40, []string{"a", "b"}, t0)
+	c.Observe(obsAt("g", "a", 40, 6))
+	got = c.Observe(obsAt("g", "b", 40, 7))
+	if countKind(got, AuditDivergence) != 1 {
+		t.Fatalf("new episode raised %d alarms, want 1", countKind(got, AuditDivergence))
+	}
+	if s := c.Summary(); s.Divergences != 2 {
+		t.Fatalf("cumulative divergences = %d, want 2", s.Divergences)
+	}
+}
+
+func TestAuditLagRaiseAndClear(t *testing.T) {
+	c := NewAuditCollector("n1", 0, 2) // alarm beyond 2 missed epochs
+	t0 := time.Now()
+	var epoch uint64
+	for i := 0; i < 3; i++ {
+		epoch += 10
+		if got := c.BeginEpoch("g", epoch, []string{"a", "b"}, t0); len(got) != 0 {
+			t.Fatalf("epoch %d alarmed early: %+v", epoch, got)
+		}
+		c.Observe(obsAt("g", "a", epoch, 1))
+	}
+	// b has now missed 3 completed epochs; the next mark pushes it over.
+	got := c.BeginEpoch("g", epoch+10, []string{"a", "b"}, t0)
+	if countKind(got, AuditLag) != 1 || got[0].Node != "b" {
+		t.Fatalf("lag alarms = %+v, want one for b", got)
+	}
+	// Latched: the following mark stays silent.
+	if got := c.BeginEpoch("g", epoch+20, []string{"a", "b"}, t0); len(got) != 0 {
+		t.Fatalf("latched lag re-alarmed: %+v", got)
+	}
+	s := c.Summary()
+	if s.Lags != 1 || !s.Groups[0].Members[1].Lagging {
+		t.Fatalf("summary after lag = %+v", s)
+	}
+	// b catches up on the missed epochs: the latch clears.
+	for e := uint64(10); e <= epoch; e += 10 {
+		c.Observe(obsAt("g", "b", e, 1))
+	}
+	if s := c.Summary(); s.Groups[0].Members[1].Lagging {
+		t.Fatalf("lag did not clear after catch-up: %+v", s)
+	}
+}
+
+func TestAuditStall(t *testing.T) {
+	c := NewAuditCollector("n1", 0, 0)
+	t0 := time.Now()
+	c.BeginEpoch("g", 10, []string{"a", "b"}, t0)
+	c.Observe(obsAt("g", "a", 10, 1))
+	// Before the deadline: silence is fine.
+	if got := c.SweepStalls(t0.Add(time.Second), 2*time.Second); len(got) != 0 {
+		t.Fatalf("premature stall: %+v", got)
+	}
+	got := c.SweepStalls(t0.Add(5*time.Second), 2*time.Second)
+	if countKind(got, AuditStall) != 1 || got[0].Node != "b" {
+		t.Fatalf("stall alarms = %+v, want one for b", got)
+	}
+	// Latched until b's next report.
+	if got := c.SweepStalls(t0.Add(6*time.Second), 2*time.Second); len(got) != 0 {
+		t.Fatalf("latched stall re-alarmed: %+v", got)
+	}
+	c.Observe(obsAt("g", "b", 10, 1))
+	if got := c.SweepStalls(t0.Add(7*time.Second), 2*time.Second); len(got) != 0 {
+		t.Fatalf("stall after report: %+v", got)
+	}
+	if s := c.Summary(); s.Stalls != 1 || s.Groups[0].Members[1].Stalled {
+		t.Fatalf("summary after recovery = %+v", s)
+	}
+}
+
+// A member that reported a later epoch is not stalled on an older one —
+// e.g. a replica that joined mid-stream.
+func TestAuditStallSkipsLaterReporter(t *testing.T) {
+	c := NewAuditCollector("n1", 0, 0)
+	t0 := time.Now()
+	c.BeginEpoch("g", 10, []string{"a", "b"}, t0)
+	c.Observe(obsAt("g", "a", 10, 1))
+	c.BeginEpoch("g", 20, []string{"a", "b"}, t0.Add(time.Second))
+	c.Observe(obsAt("g", "a", 20, 1))
+	c.Observe(obsAt("g", "b", 20, 1))
+	if got := c.SweepStalls(t0.Add(10*time.Second), 2*time.Second); len(got) != 0 {
+		t.Fatalf("stalled a member that reported a later epoch: %+v", got)
+	}
+}
+
+// MemberRemoved cancels expectations: a killed replica's silence raises
+// neither stalls nor lags.
+func TestAuditMemberRemoved(t *testing.T) {
+	c := NewAuditCollector("n1", 0, 3)
+	t0 := time.Now()
+	// b misses 3 epochs — at the threshold, not yet over it.
+	for i := uint64(1); i <= 4; i++ {
+		if got := c.BeginEpoch("g", i*10, []string{"a", "b"}, t0); len(got) != 0 {
+			t.Fatalf("epoch %d alarmed before removal: %+v", i*10, got)
+		}
+		c.Observe(obsAt("g", "a", i*10, 1))
+	}
+	c.MemberRemoved("g", "b")
+	if got := c.SweepStalls(t0.Add(time.Hour), time.Second); len(got) != 0 {
+		t.Fatalf("removed member stalled: %+v", got)
+	}
+	if got := c.BeginEpoch("g", 50, []string{"a"}, t0); len(got) != 0 {
+		t.Fatalf("removed member lagged: %+v", got)
+	}
+	if s := c.Summary(); s.Lags+s.Stalls != 0 {
+		t.Fatalf("alarms for a removed member: %+v", s)
+	}
+}
+
+// A collector that never saw a mark (the node synchronized later) opens an
+// implicit epoch from the first report: matching still applies.
+func TestAuditImplicitEpoch(t *testing.T) {
+	c := NewAuditCollector("n1", 0, 0)
+	if got := c.Observe(obsAt("g", "a", 100, 1)); len(got) != 0 {
+		t.Fatalf("implicit epoch alarmed: %+v", got)
+	}
+	got := c.Observe(obsAt("g", "b", 100, 2))
+	if countKind(got, AuditDivergence) != 1 {
+		t.Fatalf("implicit epoch missed a divergence: %+v", got)
+	}
+	if s := c.Summary(); s.LastEpoch != 100 {
+		t.Fatalf("last epoch = %d, want 100", s.LastEpoch)
+	}
+	// No expectations means no deadline: sweeps stay silent.
+	if got := c.SweepStalls(time.Now().Add(time.Hour), time.Second); len(got) != 0 {
+		t.Fatalf("implicit epoch raised stalls: %+v", got)
+	}
+}
+
+// Marks regress or duplicate only through bugs or replays; both are inert.
+func TestAuditEpochRegression(t *testing.T) {
+	c := NewAuditCollector("n1", 0, 0)
+	t0 := time.Now()
+	c.BeginEpoch("g", 50, []string{"a"}, t0)
+	c.BeginEpoch("g", 50, []string{"a", "b"}, t0)
+	c.BeginEpoch("g", 40, []string{"a", "b"}, t0)
+	c.Observe(obsAt("g", "a", 50, 1))
+	// An observation for an epoch below the window floor is journal-only.
+	if got := c.Observe(obsAt("g", "b", 40, 2)); len(got) != 0 {
+		t.Fatalf("stale observation alarmed: %+v", got)
+	}
+	if s := c.Summary(); s.Diverged || s.LastEpoch != 50 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestAuditRingPagination(t *testing.T) {
+	c := NewAuditCollector("n1", 4, 0)
+	for i := uint64(1); i <= 6; i++ {
+		c.Observe(obsAt("g", "a", i*10, 1))
+	}
+	if c.Total() != 6 || c.Dropped() != 2 {
+		t.Fatalf("total=%d dropped=%d, want 6/2", c.Total(), c.Dropped())
+	}
+	all := c.Since(0, 0)
+	if len(all) != 4 || all[0].Index != 3 || all[3].Index != 6 {
+		t.Fatalf("since(0) = %+v", all)
+	}
+	page := c.Since(all[1].Index, 1)
+	if len(page) != 1 || page[0].Index != 5 {
+		t.Fatalf("paged since = %+v", page)
+	}
+	if rest := c.Since(6, 0); len(rest) != 0 {
+		t.Fatalf("past the end = %+v", rest)
+	}
+}
+
+func TestAuditAlarmJournal(t *testing.T) {
+	c := NewAuditCollector("n1", 0, 0)
+	c.Observe(obsAt("g", "a", 10, 1))
+	c.Observe(obsAt("g", "b", 10, 2))
+	c.Observe(obsAt("h", "a", 12, 1))
+	c.Observe(obsAt("h", "b", 12, 2))
+	if got := c.Alarms(0, 0); len(got) != 2 || got[0].Group != "g" || got[1].Group != "h" {
+		t.Fatalf("alarms = %+v", got)
+	}
+	if got := c.LastAlarms(1); len(got) != 1 || got[0].Group != "h" {
+		t.Fatalf("last alarms = %+v", got)
+	}
+}
+
+// Every method must be a no-op on a nil collector (the audit-disabled
+// configuration).
+func TestAuditNilCollector(t *testing.T) {
+	var c *AuditCollector
+	if got := c.BeginEpoch("g", 1, []string{"a"}, time.Now()); got != nil {
+		t.Fatal("nil BeginEpoch")
+	}
+	if got := c.Observe(obsAt("g", "a", 1, 1)); got != nil {
+		t.Fatal("nil Observe")
+	}
+	c.MemberRemoved("g", "a")
+	if got := c.SweepStalls(time.Now(), time.Second); got != nil {
+		t.Fatal("nil SweepStalls")
+	}
+	if c.Since(0, 0) != nil || c.Alarms(0, 0) != nil || c.LastAlarms(1) != nil {
+		t.Fatal("nil journals")
+	}
+	if c.Total() != 0 || c.Dropped() != 0 || c.LastEpoch() != 0 {
+		t.Fatal("nil counters")
+	}
+	if s := c.Summary(); s.Diverged || s.Observations != 0 {
+		t.Fatalf("nil summary = %+v", s)
+	}
+}
+
+func TestMergeAudits(t *testing.T) {
+	feeds := map[string][]AuditObservation{
+		"n1": {
+			obsAt("g", "a", 10, 1), obsAt("g", "b", 10, 1),
+			obsAt("g", "a", 20, 2), obsAt("g", "b", 20, 3),
+			obsAt("h", "a", 15, 9),
+		},
+		"n2": {
+			obsAt("g", "a", 10, 1), obsAt("g", "b", 10, 1),
+			// n2 saw a different digest for a@20 than n1 did: feed conflict.
+			obsAt("g", "a", 20, 7),
+		},
+	}
+	rows := MergeAudits(feeds)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Group != "g" || rows[0].Epoch != 10 || rows[0].Diverged || rows[0].Conflicted {
+		t.Fatalf("clean row = %+v", rows[0])
+	}
+	if !rows[1].Diverged || !rows[1].Conflicted {
+		t.Fatalf("bad row not flagged = %+v", rows[1])
+	}
+	if rows[2].Group != "h" || rows[2].Diverged {
+		t.Fatalf("h row = %+v", rows[2])
+	}
+}

@@ -80,6 +80,17 @@ const (
 	// transfer after exhausting retransmit attempts (Value: chunks still
 	// missing).
 	EventStateAbort = "state-abort"
+	// EventAuditDivergence (local): the consistency audit matched two
+	// different digests for one epoch (Value: the epoch). Recorded as a
+	// local event even though the matching inputs are ordered, because a
+	// node that synchronized mid-stream holds a shorter matching history.
+	EventAuditDivergence = "audit-divergence"
+	// EventAuditLag (local): a member trailed the audit by more than the
+	// configured number of epochs (Value: the epoch raised at).
+	EventAuditLag = "audit-lag"
+	// EventAuditStall (local): an expected member reported no audit
+	// digest within the deadline (Value: the silent epoch).
+	EventAuditStall = "audit-stall"
 )
 
 // Event is one flight-recorder entry.

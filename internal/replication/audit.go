@@ -1,0 +1,92 @@
+package replication
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"eternal/internal/cdr"
+)
+
+// KAudit OpID values: the two phases of one audit epoch.
+const (
+	// AuditMark fixes an audit epoch for Envelope.Group at the mark's own
+	// delivery position; the epoch is identified by that sequence number.
+	AuditMark uint32 = 0
+	// AuditReport carries one member's AuditRecord for the epoch in
+	// Envelope.XferID; Envelope.Node is the reporting member.
+	AuditReport uint32 = 1
+)
+
+// AuditRecord is one replica's digest of its state at an audit mark's
+// agreed position in the total order. Because every member evaluates the
+// mark at the same logical point (their serial dispatchers run the digest
+// exactly between the invocations ordered around it), the records of one
+// epoch are directly comparable: for active groups, any digest mismatch
+// is real divergence.
+type AuditRecord struct {
+	// Epoch is the audit mark's delivery sequence number.
+	Epoch uint64
+	// LSN is the replica's checkpoint-log position (messages ever logged)
+	// at the digest — diagnostic context, deliberately outside the digest
+	// because fresh and recovered replicas legitimately differ in it.
+	LSN uint64
+	// Digest is DigestState over the canonically encoded state.
+	Digest uint32
+	// StateBytes is the size of the application state that was digested.
+	StateBytes uint32
+}
+
+// Encode serializes the record canonically (big-endian CDR, fixed field
+// order) so encoded records — like the digests they carry — are
+// byte-identical across replicas.
+func (a *AuditRecord) Encode() []byte {
+	enc := cdr.NewEncoder(cdr.BigEndian)
+	a.EncodeTo(enc)
+	return enc.Bytes()
+}
+
+// EncodeTo serializes the record into enc (pooled-encoder variant).
+func (a *AuditRecord) EncodeTo(enc *cdr.Encoder) {
+	enc.WriteULongLong(a.Epoch)
+	enc.WriteULongLong(a.LSN)
+	enc.WriteULong(a.Digest)
+	enc.WriteULong(a.StateBytes)
+}
+
+// DecodeAuditRecord parses an encoded audit record.
+func DecodeAuditRecord(buf []byte) (*AuditRecord, error) {
+	d := cdr.NewDecoder(buf, cdr.BigEndian)
+	var a AuditRecord
+	var err error
+	if a.Epoch, err = d.ReadULongLong(); err != nil {
+		return nil, fmt.Errorf("%w: audit record: %v", ErrBadEnvelope, err)
+	}
+	if a.LSN, err = d.ReadULongLong(); err != nil {
+		return nil, fmt.Errorf("%w: audit record: %v", ErrBadEnvelope, err)
+	}
+	if a.Digest, err = d.ReadULong(); err != nil {
+		return nil, fmt.Errorf("%w: audit record: %v", ErrBadEnvelope, err)
+	}
+	if a.StateBytes, err = d.ReadULong(); err != nil {
+		return nil, fmt.Errorf("%w: audit record: %v", ErrBadEnvelope, err)
+	}
+	return &a, nil
+}
+
+// auditTable is the CRC-32C (Castagnoli) table the audit digests use.
+var auditTable = crc32.MakeTable(crc32.Castagnoli)
+
+// DigestState computes the audit digest over a replica's canonically
+// encoded state: the application-level get_state output plus the
+// infrastructure-level duplicate filter (EncodeFilterState, which sorts
+// its map canonically). Each section is length-framed before hashing so
+// shifting bytes between sections cannot produce the same digest.
+func DigestState(appState, filterState []byte) uint32 {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(appState)))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(filterState)))
+	crc := crc32.Update(0, auditTable, hdr[:])
+	crc = crc32.Update(crc, auditTable, appState)
+	return crc32.Update(crc, auditTable, filterState)
+}

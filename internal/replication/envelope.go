@@ -63,6 +63,13 @@ const (
 	// XferID. Node is the requester; the payload is an encoded index
 	// list.
 	KStateRetransmit Kind = 12
+	// KAudit carries the live consistency audit. OpID discriminates the
+	// two phases: an AuditMark (sent by the group's primary) fixes an
+	// audit epoch at its own delivery position — every instance-bearing
+	// member digests its state at exactly that point in the total order —
+	// and an AuditReport (one per member, XferID = the mark's delivery
+	// seq) carries the resulting AuditRecord for epoch-by-epoch matching.
+	KAudit Kind = 13
 )
 
 var kindNames = map[Kind]string{
@@ -71,7 +78,7 @@ var kindNames = map[Kind]string{
 	KSetState: "SetState", KCheckpoint: "Checkpoint",
 	KSyncRequest: "SyncRequest", KSyncState: "SyncState",
 	KStateChunk: "StateChunk", KStateManifest: "StateManifest",
-	KStateRetransmit: "StateRetransmit",
+	KStateRetransmit: "StateRetransmit", KAudit: "Audit",
 }
 
 // String names the kind.
