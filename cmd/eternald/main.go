@@ -105,6 +105,10 @@ func main() {
 			"consistency-audit mark period (0 = default 1s, negative disables the audit)")
 		auditCapacity = flag.Int("audit-capacity", 0,
 			"audit observation journal size (0 = default)")
+		tokenTick = flag.Duration("token-tick", 0,
+			"totem timer resolution; an idle-paced token moves up to a few ticks per hop (0 = default 2ms)")
+		fastPath = flag.String("fast-path", "auto",
+			"leader-ordered fast path: auto (2-member rings only), on, off")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -126,6 +130,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	fpMode, err := totem.ParseFastPathMode(*fastPath)
+	if err != nil {
+		log.Fatalf("eternald: %v", err)
+	}
 	nodeCfg := eternal.NodeConfig{
 		Transport:           tr,
 		StateChunkBytes:     *chunkBytes,
@@ -134,6 +142,8 @@ func main() {
 		AuditInterval:       *auditInterval,
 		AuditCapacity:       *auditCapacity,
 	}
+	nodeCfg.Totem.Tick = *tokenTick
+	nodeCfg.Totem.FastPath = fpMode
 	if *logLevel != "" {
 		level, err := eternal.ParseLogLevel(*logLevel)
 		if err != nil {

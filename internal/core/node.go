@@ -652,12 +652,18 @@ func (n *Node) multicast(env *replication.Envelope) {
 	// chunk buffer before returning, so the encoder can be released here.
 	enc := cdr.AcquireEncoder(cdr.BigEndian)
 	env.EncodeTo(enc)
-	if env.Trace != 0 {
+	switch {
+	case env.Trace != 0:
 		// Traced invocation traffic: the totem layer stamps the enqueue
 		// and transmit phases onto the trace's span as the message crosses
 		// it (replies onto the mirrored reply phases).
 		_ = n.proc.MulticastTraced(enc.Bytes(), env.Trace, env.Kind == replication.KReply)
-	} else {
+	case env.Kind == replication.KAudit:
+		// Audit marks and reports are background traffic: they ride the
+		// paced token instead of waking it, so a quiescent ring stays
+		// paced across audit epochs (ordering guarantees are identical).
+		_ = n.proc.MulticastBackground(enc.Bytes())
+	default:
 		_ = n.proc.Multicast(enc.Bytes())
 	}
 	cdr.ReleaseEncoder(enc)

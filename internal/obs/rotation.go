@@ -33,6 +33,13 @@ type TokenRotation struct {
 	// PendingBefore/PendingAfter bracket the pending-queue drain.
 	PendingBefore int `json:"pending_before,omitempty"`
 	PendingAfter  int `json:"pending_after,omitempty"`
+	// IdleHops is the token's consecutive-idle-hop counter after this
+	// visit — the ring-wide idleness signal the adaptive pacer keys on.
+	IdleHops uint32 `json:"idle_hops,omitempty"`
+	// Paced reports that the holder parked the token before forwarding
+	// (idle pacing), and PaceTicks for how many ticks.
+	Paced     bool `json:"paced,omitempty"`
+	PaceTicks int  `json:"pace_ticks,omitempty"`
 }
 
 // DefaultRotationCapacity bounds a rotation log when no capacity is

@@ -129,6 +129,20 @@ type Stats struct {
 	// PackedChunks counts chunks that traveled in a frame shared with at
 	// least one other chunk.
 	PackedChunks uint64
+	// HurriesSent/HurriesReceived count token hurry nudges: broadcasts
+	// that wake an idle-paced ring when a member enqueues a message.
+	HurriesSent     uint64
+	HurriesReceived uint64
+	// PacedHops counts token hops parked for idle pacing before being
+	// forwarded.
+	PacedHops uint64
+	// FastPathChunks counts chunks the fast-path leader sequenced
+	// immediately (its own and forwarded ones) without a token visit;
+	// ChunksSent minus FastPathChunks is the token-ordered share.
+	FastPathChunks uint64
+	// ForwardedChunks counts chunks this member forwarded to the
+	// fast-path leader for sequencing (first transmissions and retries).
+	ForwardedChunks uint64
 }
 
 // PackingFlag is a three-valued toggle whose zero value means "on", so
@@ -148,6 +162,64 @@ const (
 
 // Enabled reports whether the flag turns packing on.
 func (f PackingFlag) Enabled() bool { return f != PackingOff }
+
+// FastPathMode gates the leader-ordered fast path: an LLFT-style fixed
+// sequencer riding on the Totem ring, where the ring leader (the
+// representative) assigns sequence numbers immediately on receipt and
+// multicasts speculatively instead of waiting for a token visit.
+// Delivery still happens only at the totally-ordered point; the token
+// keeps rotating behind the fast path to aggregate aru, serve
+// retransmissions and garbage-collect.
+type FastPathMode int
+
+const (
+	// FastPathAuto (the zero value) enables the fast path only on
+	// 2-member rings — the configuration whose token-wait cliff it exists
+	// to close — and uses classic token rotation elsewhere.
+	FastPathAuto FastPathMode = iota
+	// FastPathOff forces classic token-ordered sequencing everywhere.
+	FastPathOff
+	// FastPathOn enables leader ordering on any multi-member ring.
+	FastPathOn
+)
+
+// enabled reports whether the mode activates leader ordering for a ring
+// of the given size.
+func (f FastPathMode) enabled(members int) bool {
+	switch f {
+	case FastPathOff:
+		return false
+	case FastPathOn:
+		return members >= 2
+	default:
+		return members == 2
+	}
+}
+
+// String renders the mode the way the -fast-path flag spells it.
+func (f FastPathMode) String() string {
+	switch f {
+	case FastPathOff:
+		return "off"
+	case FastPathOn:
+		return "on"
+	default:
+		return "auto"
+	}
+}
+
+// ParseFastPathMode parses "auto", "off" or "on" (the -fast-path flag).
+func ParseFastPathMode(s string) (FastPathMode, error) {
+	switch s {
+	case "auto", "":
+		return FastPathAuto, nil
+	case "off":
+		return FastPathOff, nil
+	case "on":
+		return FastPathOn, nil
+	}
+	return FastPathAuto, fmt.Errorf("totem: unknown fast-path mode %q (want auto, off or on)", s)
+}
 
 // Config configures a Processor. Zero durations get defaults sized for
 // LAN-scale simulation; tests shrink them for fast reformations.
@@ -182,6 +254,18 @@ type Config struct {
 	// recovers the waste on the sub-MTU tail. The zero value enables it;
 	// set PackingOff for the ablation baseline.
 	Packing PackingFlag
+	// FastPath gates the leader-ordered fast path (see FastPathMode). The
+	// zero value enables it on 2-member rings only.
+	FastPath FastPathMode
+	// IdleGrace is how long after the last foreground activity the token
+	// keeps rotating at wire speed before idle pacing starts (default
+	// 2*Tick). Larger values spend CPU to keep request/reply gaps fast;
+	// smaller ones park the ring sooner.
+	IdleGrace time.Duration
+	// MaxPaceTicks caps the idle pacer's exponential backoff: a long-idle
+	// holder parks the token for up to this many ticks per hop (default 4,
+	// further clamped so a paced rotation stays within TokenLossTimeout/4).
+	MaxPaceTicks int
 	// AnnounceInterval is the period of the representative's ring beacon,
 	// used to discover foreign rings after a partition heals
 	// (default 8*JoinInterval).
@@ -228,6 +312,12 @@ func (c Config) withDefaults() Config {
 	if c.MissThreshold <= 0 {
 		c.MissThreshold = 10
 	}
+	if c.IdleGrace <= 0 {
+		c.IdleGrace = 2 * c.Tick
+	}
+	if c.MaxPaceTicks <= 0 {
+		c.MaxPaceTicks = 4
+	}
 	if c.AnnounceInterval <= 0 {
 		c.AnnounceInterval = 8 * c.JoinInterval
 	}
@@ -240,9 +330,8 @@ const fragMargin = 192
 // maxRtrPerToken bounds the retransmission list so tokens fit one frame.
 const maxRtrPerToken = 100
 
-// idleRotations is how many fully idle token rotations run at wire speed
-// before holders start pacing the token (see handleToken).
-const idleRotations = 8
+// idleHopsCap bounds the token's idle-hop counter so it cannot wrap.
+const idleHopsCap = 1 << 20
 
 // Errors returned by Processor methods.
 var (
@@ -315,10 +404,40 @@ type Processor struct {
 	lastSentAt    time.Time
 	tokenResends  int
 	// parkedToken holds the token while pacing an idle ring (including the
-	// single-member self-delivery case); it is released on the next tick,
-	// or immediately when new messages are enqueued.
+	// single-member self-delivery case); it is released once parkedUntil
+	// passes (the adaptive pacer's backoff), or immediately when new
+	// foreground messages are enqueued or a hurry nudge arrives.
 	parkedToken    *tokenMsg
+	parkedUntil    time.Time
 	lastAnnounceAt time.Time
+
+	// Adaptive pacing state. lastActivityAt is the last time this member
+	// did foreground protocol work (sent or forwarded non-background
+	// chunks, served or requested retransmissions); the pacer holds wire
+	// speed for IdleGrace past it. hurried marks that a hurry nudge allows
+	// the next forward to skip pacing once. lastPaceTicks is the backoff
+	// applied by the most recent forward (0 = wire speed), recorded into
+	// the rotation profile.
+	lastActivityAt time.Time
+	lastHurryAt    time.Time
+	hurried        bool
+	lastPaceTicks  int
+
+	// Leader-ordered fast path state (see FastPathMode). fastPath and
+	// leader are fixed per ring at install time. Followers keep submitted
+	// chunks in pending until their sequenced copies are delivered:
+	// headFseq is the forward sequence number of the pending head and
+	// fwdCount the number of chunks (from the head) already forwarded
+	// once; the leader's fwdMarks holds the per-sender in-order acceptance
+	// watermark, and fwdHeld parks frames that arrived ahead of a gap
+	// (the medium reorders back-to-back unicasts) until the gap fills.
+	fastPath  bool
+	leader    string
+	headFseq  uint64
+	fwdCount  int
+	lastFwdAt time.Time
+	fwdMarks  map[string]uint64
+	fwdHeld   map[string]map[uint64]*forwardMsg
 
 	nMulticasts atomic.Uint64
 	nChunks     atomic.Uint64
@@ -329,6 +448,11 @@ type Processor struct {
 	nTombstones atomic.Uint64
 	nDataFrames atomic.Uint64
 	nPacked     atomic.Uint64
+	nHurrySent  atomic.Uint64
+	nHurryRecv  atomic.Uint64
+	nPacedHops  atomic.Uint64
+	nFastChunks atomic.Uint64
+	nFwdChunks  atomic.Uint64
 
 	// Metrics export (nil-safe via a private registry when unconfigured).
 	mPktsIn   *obs.Counter
@@ -356,19 +480,23 @@ type Processor struct {
 }
 
 // submission is one application message queued for the run goroutine:
-// its pre-fragmented chunks plus the span-tracing metadata.
+// its pre-fragmented chunks plus the span-tracing metadata. background
+// marks low-urgency control traffic (audit marks and reports) that rides
+// the paced token instead of waking it.
 type submission struct {
-	chunks [][]byte
-	trace  uint64
-	reply  bool
+	chunks     [][]byte
+	trace      uint64
+	reply      bool
+	background bool
 }
 
 // sendMeta is what the processor remembers about a locally originated
 // message between submission and self-delivery.
 type sendMeta struct {
-	at    time.Time
-	trace uint64
-	reply bool
+	at         time.Time
+	trace      uint64
+	reply      bool
+	background bool
 }
 
 // Start creates a processor on the given transport and begins gathering
@@ -436,6 +564,11 @@ func (p *Processor) registerMetrics(r *obs.Registry) {
 		{"eternal_totem_tombstones_total", "unrecoverable sequence numbers skipped", &p.nTombstones},
 		{"eternal_totem_data_frames_total", "data frames initially transmitted (retransmissions excluded)", &p.nDataFrames},
 		{"eternal_totem_packed_messages_total", "chunks that shared a packed frame with at least one other chunk", &p.nPacked},
+		{"eternal_totem_hurries_sent_total", "token hurry nudges broadcast on enqueue into an idle-paced ring", &p.nHurrySent},
+		{"eternal_totem_hurries_received_total", "token hurry nudges received from peers", &p.nHurryRecv},
+		{"eternal_totem_paced_hops_total", "token hops parked for idle pacing before forwarding", &p.nPacedHops},
+		{"eternal_totem_fastpath_chunks_total", "chunks the fast-path leader sequenced immediately, without a token visit", &p.nFastChunks},
+		{"eternal_totem_fastpath_forwards_total", "chunks forwarded to the fast-path leader for sequencing (including retries)", &p.nFwdChunks},
 	} {
 		v := c.v
 		r.CounterFunc(c.name, c.help, func() float64 { return float64(v.Load()) })
@@ -461,15 +594,20 @@ func (p *Processor) Views() <-chan Membership { return p.views.Out() }
 // Stats returns a snapshot of the protocol counters.
 func (p *Processor) Stats() Stats {
 	return Stats{
-		Multicasts:     p.nMulticasts.Load(),
-		ChunksSent:     p.nChunks.Load(),
-		Retransmits:    p.nRetrans.Load(),
-		TokenRotations: p.nRotations.Load(),
-		Deliveries:     p.nDeliveries.Load(),
-		ViewChanges:    p.nViews.Load(),
-		Tombstones:     p.nTombstones.Load(),
-		DataFrames:     p.nDataFrames.Load(),
-		PackedChunks:   p.nPacked.Load(),
+		Multicasts:      p.nMulticasts.Load(),
+		ChunksSent:      p.nChunks.Load(),
+		Retransmits:     p.nRetrans.Load(),
+		TokenRotations:  p.nRotations.Load(),
+		Deliveries:      p.nDeliveries.Load(),
+		ViewChanges:     p.nViews.Load(),
+		Tombstones:      p.nTombstones.Load(),
+		DataFrames:      p.nDataFrames.Load(),
+		PackedChunks:    p.nPacked.Load(),
+		HurriesSent:     p.nHurrySent.Load(),
+		HurriesReceived: p.nHurryRecv.Load(),
+		PacedHops:       p.nPacedHops.Load(),
+		FastPathChunks:  p.nFastChunks.Load(),
+		ForwardedChunks: p.nFwdChunks.Load(),
 	}
 }
 
@@ -487,11 +625,24 @@ func (p *Processor) Multicast(payload []byte) error {
 	return p.MulticastTraced(payload, 0, false)
 }
 
+// MulticastBackground is Multicast for low-urgency control traffic
+// (consistency-audit marks and reports): the message rides the paced
+// token without resetting the idle counter, waking a parked token or
+// triggering a hurry nudge, so a quiescent ring stays paced across audit
+// epochs. Ordering and reliability guarantees are identical.
+func (p *Processor) MulticastBackground(payload []byte) error {
+	return p.submit(payload, 0, false, true)
+}
+
 // MulticastTraced is Multicast carrying span-tracing metadata: the
 // message's envelope trace id (0 = untraced) and whether it is a reply,
 // so the configured span recorder can stamp the enqueue and transmit
 // phases under the right name.
 func (p *Processor) MulticastTraced(payload []byte, trace uint64, reply bool) error {
+	return p.submit(payload, trace, reply, false)
+}
+
+func (p *Processor) submit(payload []byte, trace uint64, reply, background bool) error {
 	chunkSize := p.tr.MTU() - fragMargin - len(p.addr)
 	// One defensive copy of the whole payload; chunks are subslices of it
 	// rather than per-chunk allocations.
@@ -506,7 +657,7 @@ func (p *Processor) MulticastTraced(payload []byte, trace uint64, reply bool) er
 		chunks = append(chunks, buf[off:end:end])
 	}
 	select {
-	case p.submitCh <- submission{chunks: chunks, trace: trace, reply: reply}:
+	case p.submitCh <- submission{chunks: chunks, trace: trace, reply: reply, background: background}:
 		p.nMulticasts.Add(1)
 		return nil
 	case <-p.done:
@@ -544,11 +695,7 @@ func (p *Processor) run() {
 			return
 		case sub := <-p.submitCh:
 			p.enqueue(sub)
-			if p.parkedToken != nil && p.state == stateOperational {
-				// Wake a paced token immediately so enqueueing does not
-				// cost a tick of latency.
-				p.releaseParked(time.Now())
-			}
+			p.kick(sub.background, time.Now())
 		case pkt, ok := <-p.tr.Recv():
 			if !ok {
 				return
@@ -573,7 +720,7 @@ func (p *Processor) enqueue(sub submission) {
 			Payload:   c,
 		})
 	}
-	p.sendTimes[id] = sendMeta{at: time.Now(), trace: sub.trace, reply: sub.reply}
+	p.sendTimes[id] = sendMeta{at: time.Now(), trace: sub.trace, reply: sub.reply, background: sub.background}
 	if sub.trace != 0 {
 		if sub.reply {
 			p.cfg.Spans.MarkOpen(sub.trace, obs.SpanReplyEnqueued)
@@ -602,6 +749,62 @@ func (p *Processor) handlePacket(pkt Packet, now time.Time) {
 		p.handleForm(m, now)
 	case *announceMsg:
 		p.handleAnnounce(m, now)
+	case *hurryMsg:
+		p.handleHurry(m, now)
+	case *forwardMsg:
+		p.handleForward(m, now)
+	}
+}
+
+// kick dispatches a freshly enqueued submission onto whatever path gets
+// it sequenced fastest. Background traffic takes none of them: it rides
+// the next (possibly paced) token visit so audit marks do not keep a
+// quiescent ring spinning.
+func (p *Processor) kick(background bool, now time.Time) {
+	if p.state != stateOperational {
+		return
+	}
+	if p.fastPath {
+		// Leader ordering: no token involvement on the submit path at all.
+		if p.addr == p.leader {
+			p.fastDrain(now)
+		} else {
+			p.forwardPending(now, p.fwdCount)
+		}
+		return
+	}
+	if background {
+		return
+	}
+	if p.parkedToken != nil {
+		// Wake our own paced token immediately so enqueueing does not
+		// cost a tick of latency.
+		p.releaseParked(now)
+		return
+	}
+	if len(p.members) > 1 && now.Sub(p.lastHurryAt) >= p.cfg.Tick {
+		// The token may be parked at another member: nudge it loose
+		// rather than waiting out up to members×MaxPaceTicks×Tick of
+		// pacing. Rate-limited to one nudge per tick; during an active
+		// burst the extra frame is noise the holder ignores.
+		p.lastHurryAt = now
+		p.hurried = true
+		p.nHurrySent.Add(1)
+		p.bcastMsg(&hurryMsg{Ring: p.ring, Origin: p.addr})
+	}
+}
+
+// handleHurry reacts to a peer's hurry nudge: release a parked token at
+// once and let the next forward skip pacing, so the token crosses the
+// ring at wire speed until the nudging enqueuer is served.
+func (p *Processor) handleHurry(m *hurryMsg, now time.Time) {
+	if p.state != stateOperational || m.Ring != p.ring || m.Origin == p.addr {
+		return
+	}
+	p.nHurryRecv.Add(1)
+	p.hurried = true
+	if p.parkedToken != nil {
+		p.releaseParked(now)
 	}
 }
 
@@ -668,6 +871,12 @@ func (p *Processor) handleToken(tok *tokenMsg, now time.Time) {
 	if tok.Seq > p.seqHigh {
 		p.seqHigh = tok.Seq
 	}
+	if p.fastPath && p.addr == p.leader && p.seqHigh > tok.Seq {
+		// Fast-path sequencing ran ahead of the token; advertise the high
+		// mark so followers can request anything the speculative
+		// multicasts lost.
+		tok.Seq = p.seqHigh
+	}
 
 	// 1. Serve retransmission requests we can satisfy.
 	served := 0
@@ -712,18 +921,29 @@ func (p *Processor) handleToken(tok *tokenMsg, now time.Time) {
 	tok.Rtr = rtr
 	p.advanceAru()
 
-	// 3. Multicast pending chunks while we hold the token.
+	// 3. Multicast pending chunks while we hold the token. Fast-path
+	// followers never sequence: their pending queue is the
+	// un-acknowledged forward window, drained as sequenced copies are
+	// delivered; anything not yet forwarded goes to the leader now.
 	pendingBefore := p.pending.Len()
-	sent := p.sendPending(tok)
+	var sent, fgSent int
+	if p.fastPath && p.addr != p.leader {
+		if p.pending.Len() > p.fwdCount {
+			p.forwardPending(now, p.fwdCount)
+		}
+	} else {
+		sent, fgSent = p.sendPending(tokenAlloc(tok), false)
+	}
 
-	// Token idling: after several completely idle rotations, holders pace
-	// the token to one hop per tick instead of spinning at wire speed.
-	// The threshold keeps request/reply bursts at full token speed (a
-	// paced token would add up to members×tick to every invocation) while
-	// bounding the CPU burned by a long-idle ring.
-	if served > 0 || sent > 0 || len(tok.Rtr) > 0 || p.myAru < tok.Seq {
+	// Token idling: IdleHops counts consecutive hops on which no holder
+	// did foreground work — the ring-wide idleness signal the adaptive
+	// pacer (paceTicks) combines with the local IdleGrace window.
+	// Background chunks (audit marks) ride the token without resetting
+	// the counter, so a quiescent ring stays paced across audit epochs.
+	if served > 0 || fgSent > 0 || len(tok.Rtr) > 0 {
 		tok.IdleHops = 0
-	} else if int(tok.IdleHops) <= 2*idleRotations*len(p.members) {
+		p.lastActivityAt = now
+	} else if tok.IdleHops < idleHopsCap {
 		tok.IdleHops++
 	}
 
@@ -747,9 +967,15 @@ func (p *Processor) handleToken(tok *tokenMsg, now time.Time) {
 		p.gcLow = tok.GCSeq
 	}
 
-	// 6. Profile the visit, then forward the token.
+	// 6. Forward the token, then profile the visit (the forward decides
+	// the pacing state the sample records).
+	idleHops := tok.IdleHops
+	var end time.Time
 	if p.rotations != nil {
-		end := time.Now()
+		end = time.Now()
+	}
+	p.forwardToken(tok, now)
+	if p.rotations != nil {
 		sample := obs.TokenRotation{
 			At:            now,
 			Round:         p.round,
@@ -760,6 +986,9 @@ func (p *Processor) handleToken(tok *tokenMsg, now time.Time) {
 			ChunksSent:    sent,
 			PendingBefore: pendingBefore,
 			PendingAfter:  p.pending.Len(),
+			IdleHops:      idleHops,
+			Paced:         p.lastPaceTicks > 0,
+			PaceTicks:     p.lastPaceTicks,
 		}
 		if !prevVisit.IsZero() {
 			sample.IntervalUs = float64(now.Sub(prevVisit).Nanoseconds()) / 1e3
@@ -768,7 +997,6 @@ func (p *Processor) handleToken(tok *tokenMsg, now time.Time) {
 		p.mTokenHold.ObserveDuration(end.Sub(now))
 		p.rotations.Record(sample)
 	}
-	p.forwardToken(tok, now)
 }
 
 // Rotations returns up to max most recent token-rotation profiler
@@ -777,15 +1005,23 @@ func (p *Processor) Rotations(max int) []obs.TokenRotation {
 	return p.rotations.Last(max)
 }
 
-// sendPending multicasts queued chunks while holding the token, bounded by
-// MaxPerToken chunks, and returns how many chunks were sent. With packing
-// enabled, consecutive sub-MTU chunks — possibly belonging to different
-// application messages — share one frame and one sequence number; the
-// conservative wireCost bound keeps each packed frame within the MTU
-// without a trial encode.
-func (p *Processor) sendPending(tok *tokenMsg) int {
+// tokenAlloc is the classic sequence allocator: each frame takes the
+// token's next sequence number.
+func tokenAlloc(tok *tokenMsg) func() uint64 {
+	return func() uint64 { tok.Seq++; return tok.Seq }
+}
+
+// sendPending multicasts queued chunks under sequence numbers from alloc,
+// bounded by MaxPerToken chunks. It returns how many chunks were sent and
+// how many of those were foreground (non-background) — the count that
+// feeds the idle pacer. With packing enabled, consecutive sub-MTU chunks
+// — possibly belonging to different application messages — share one
+// frame and one sequence number; the conservative wireCost bound keeps
+// each packed frame within the MTU without a trial encode. fast marks
+// frames sequenced by the leader-ordered fast path (counters only; the
+// wire format is identical).
+func (p *Processor) sendPending(alloc func() uint64, fast bool) (sent, fgSent int) {
 	mtu := p.tr.MTU()
-	sent := 0
 	for sent < p.cfg.MaxPerToken && p.pending.Len() > 0 {
 		first, _ := p.pending.Pop()
 		sent++
@@ -803,9 +1039,8 @@ func (p *Processor) sendPending(tok *tokenMsg) int {
 				size += next.wireCost()
 			}
 		}
-		tok.Seq++
 		frame.Ring = p.ring
-		frame.Seq = tok.Seq
+		frame.Seq = alloc()
 		p.store[frame.Seq] = frame
 		if frame.Seq > p.seqHigh {
 			p.seqHigh = frame.Seq
@@ -816,18 +1051,23 @@ func (p *Processor) sendPending(tok *tokenMsg) int {
 		if len(frame.Chunks) > 1 {
 			p.nPacked.Add(uint64(len(frame.Chunks)))
 		}
-		if p.cfg.Spans != nil {
-			for i := range frame.Chunks {
-				c := &frame.Chunks[i]
-				if c.FragIdx != c.FragTotal-1 {
-					continue // the message is on the wire once its last fragment is
-				}
-				if meta, ok := p.sendTimes[c.MsgID]; ok && meta.trace != 0 {
-					if meta.reply {
-						p.cfg.Spans.MarkOpen(meta.trace, obs.SpanReplyTransmitted)
-					} else {
-						p.cfg.Spans.Mark(meta.trace, obs.SpanTransmitted)
-					}
+		if fast {
+			p.nFastChunks.Add(uint64(len(frame.Chunks)))
+		}
+		for i := range frame.Chunks {
+			c := &frame.Chunks[i]
+			meta, ok := p.sendTimes[c.MsgID]
+			if !ok || !meta.background {
+				fgSent++
+			}
+			if p.cfg.Spans == nil || c.FragIdx != c.FragTotal-1 {
+				continue // the message is on the wire once its last fragment is
+			}
+			if ok && meta.trace != 0 {
+				if meta.reply {
+					p.cfg.Spans.MarkOpen(meta.trace, obs.SpanReplyTransmitted)
+				} else {
+					p.cfg.Spans.Mark(meta.trace, obs.SpanTransmitted)
 				}
 			}
 		}
@@ -836,27 +1076,87 @@ func (p *Processor) sendPending(tok *tokenMsg) int {
 		p.mPending.Set(int64(p.pending.Len()))
 		p.advanceAru()
 	}
-	return sent
+	return sent, fgSent
+}
+
+// fastDrain sequences locally enqueued chunks immediately — the
+// leader-ordered fast path's submit side. The leader stamps and
+// multicasts without waiting for a token visit; the rotating token still
+// aggregates aru, serves retransmissions and garbage-collects behind it.
+func (p *Processor) fastDrain(now time.Time) {
+	for p.pending.Len() > 0 {
+		sent, fgSent := p.sendPending(func() uint64 { p.seqHigh++; return p.seqHigh }, true)
+		if fgSent > 0 {
+			p.lastActivityAt = now
+		}
+		if sent == 0 {
+			return
+		}
+	}
 }
 
 func (p *Processor) forwardToken(tok *tokenMsg, now time.Time) {
 	tok.Round++
+	p.lastPaceTicks = 0
 	succ := p.successor()
 	if succ == p.addr {
 		// Single-member ring: drain everything pending, then pace the
-		// token at one pass per tick instead of spinning at wire speed.
+		// self-rotation (wire speed would be a hot loop).
 		for p.pending.Len() > 0 {
-			p.sendPending(tok)
+			p.sendPending(tokenAlloc(tok), false)
 		}
-		p.parkedToken = tok
+		p.park(tok, now, max(1, p.paceTicks(tok, now)))
 		return
 	}
-	if int(tok.IdleHops) >= idleRotations*len(p.members) {
-		// Long-idle ring: pace to one hop per tick.
-		p.parkedToken = tok
+	if ticks := p.paceTicks(tok, now); ticks > 0 {
+		p.park(tok, now, ticks)
 		return
 	}
 	p.transmitToken(tok, succ, now)
+}
+
+// paceTicks decides whether this hop should pace the token and for how
+// many ticks; zero means forward at wire speed. Pacing starts after a
+// fully idle rotation (IdleHops covers every member): one tick per hop
+// at first, and once IdleGrace has also passed since this member's last
+// foreground activity the backoff doubles with each further idle
+// rotation up to MaxPaceTicks, clamped so a fully paced rotation stays
+// within a quarter of the token-loss timeout. An idle-but-recent ring
+// therefore never spins at wire speed — a hurry nudge (or a local
+// enqueue) is what cancels pacing when latency matters.
+func (p *Processor) paceTicks(tok *tokenMsg, now time.Time) int {
+	members := len(p.members)
+	if int(tok.IdleHops) < members {
+		return 0
+	}
+	if p.hurried {
+		// A nudged token crosses this hop at wire speed (once).
+		p.hurried = false
+		return 0
+	}
+	if now.Sub(p.lastActivityAt) < p.cfg.IdleGrace {
+		return 1
+	}
+	ticks := 1
+	for r := int(tok.IdleHops)/members - 1; r > 0 && ticks < p.cfg.MaxPaceTicks; r-- {
+		ticks <<= 1
+	}
+	if ticks > p.cfg.MaxPaceTicks {
+		ticks = p.cfg.MaxPaceTicks
+	}
+	if budget := int(p.cfg.TokenLossTimeout / 4 / (time.Duration(members) * p.cfg.Tick)); budget < ticks {
+		ticks = max(budget, 1)
+	}
+	return ticks
+}
+
+// park holds the token for the given number of ticks; onTick releases it
+// once parkedUntil passes (or sooner, on enqueue or hurry).
+func (p *Processor) park(tok *tokenMsg, now time.Time, ticks int) {
+	p.parkedToken = tok
+	p.parkedUntil = now.Add(time.Duration(ticks-1) * p.cfg.Tick)
+	p.lastPaceTicks = ticks
+	p.nPacedHops.Add(1)
 }
 
 func (p *Processor) transmitToken(tok *tokenMsg, succ string, now time.Time) {
@@ -874,9 +1174,13 @@ func (p *Processor) releaseParked(now time.Time) {
 	if p.state != stateOperational || tok.Ring != p.ring {
 		return // ring changed while parked; the new ring mints a new token
 	}
-	if p.pending.Len() > 0 {
-		if p.sendPending(tok) > 0 {
+	if p.pending.Len() > 0 && !(p.fastPath && p.addr != p.leader) {
+		if p.fastPath && p.seqHigh > tok.Seq {
+			tok.Seq = p.seqHigh
+		}
+		if _, fgSent := p.sendPending(tokenAlloc(tok), false); fgSent > 0 {
 			tok.IdleHops = 0
+			p.lastActivityAt = now
 		}
 	}
 	succ := p.successor()
@@ -893,6 +1197,180 @@ func (p *Processor) successor() string {
 		return p.addr
 	}
 	return p.members[(i+1)%len(p.members)]
+}
+
+// forwardPending unicasts pending chunks from position from onward to the
+// fast-path leader for immediate sequencing, splitting across MTU-sized
+// forward frames. Each chunk carries a per-ring forward sequence number
+// (headFseq + position) that stays stable across retries, so the leader's
+// in-order acceptance window sequences every chunk exactly once no matter
+// how forwards are lost, duplicated or reordered. from == fwdCount sends
+// only new chunks (the submit path); from == 0 resends everything
+// un-acknowledged (the retry path, which must be cumulative: the leader
+// rejects out-of-order arrivals, so a lost frame's chunks have to be
+// re-offered before anything after them).
+func (p *Processor) forwardPending(now time.Time, from int) {
+	n := p.pending.Len()
+	if n == 0 || from >= n {
+		return
+	}
+	p.lastFwdAt = now
+	mtu := p.tr.MTU()
+	overhead := fwdFrameOverhead + len(p.addr) + len(p.ring.Rep)
+	frame := &forwardMsg{Ring: p.ring, Sender: p.addr, Start: p.headFseq + uint64(from)}
+	size := overhead
+	i := 0
+	p.pending.Each(func(c *chunk) {
+		pos := i
+		i++
+		if pos < from {
+			return
+		}
+		if len(frame.Chunks) > 0 && size+c.wireCost() > mtu {
+			p.nFwdChunks.Add(uint64(len(frame.Chunks)))
+			p.sendMsg(p.leader, frame)
+			frame = &forwardMsg{Ring: p.ring, Sender: p.addr, Start: p.headFseq + uint64(pos)}
+			size = overhead
+		}
+		var flags byte
+		meta, ok := p.sendTimes[c.MsgID]
+		if ok && meta.background {
+			flags |= fwdFlagBackground
+		}
+		frame.Chunks = append(frame.Chunks, *c)
+		frame.Flags = append(frame.Flags, flags)
+		size += c.wireCost()
+		if pos >= p.fwdCount {
+			// First forward of this chunk: it is on its way to the
+			// sequencer, the moment the span model calls "transmitted".
+			if !meta.background {
+				p.lastActivityAt = now
+			}
+			if p.cfg.Spans != nil && c.FragIdx == c.FragTotal-1 && ok && meta.trace != 0 {
+				if meta.reply {
+					p.cfg.Spans.MarkOpen(meta.trace, obs.SpanReplyTransmitted)
+				} else {
+					p.cfg.Spans.Mark(meta.trace, obs.SpanTransmitted)
+				}
+			}
+		}
+	})
+	if len(frame.Chunks) > 0 {
+		p.nFwdChunks.Add(uint64(len(frame.Chunks)))
+		p.sendMsg(p.leader, frame)
+	}
+	p.fwdCount = n
+}
+
+// maxHeldForwards bounds the per-sender buffer of out-of-order forward
+// frames the leader parks while a gap fills. Past the cap the frame is
+// dropped and the follower's cumulative retry covers it — the buffer only
+// has to absorb medium reordering, not sustained loss.
+const maxHeldForwards = 32
+
+// handleForward sequences a follower's forwarded chunks — the leader side
+// of the fast path. The per-sender watermark admits only the chunks that
+// extend the contiguous forward sequence: duplicates (from cumulative
+// retries) fall below it and are dropped. A frame that arrives ahead of a
+// gap is parked in fwdHeld and sequenced the moment the gap fills — the
+// medium reorders back-to-back unicasts routinely, and bouncing the frame
+// to the follower's retry timer would turn every swap into a stall. Only
+// a genuinely lost frame leaves a hole for the cumulative retry.
+// Sequencing is therefore exactly-once and submission-ordered per sender.
+func (p *Processor) handleForward(m *forwardMsg, now time.Time) {
+	if p.state != stateOperational || m.Ring != p.ring {
+		return
+	}
+	if !p.fastPath || p.addr != p.leader || len(m.Chunks) == 0 {
+		return // mode or leadership changed in flight; the sender will retry or fall back to the token
+	}
+	if !p.acceptForward(m, now) {
+		return
+	}
+	// Drain any parked frames the new watermark reaches.
+	for held := p.fwdHeld[m.Sender]; len(held) > 0; {
+		var next *forwardMsg
+		for s, f := range held {
+			if s <= p.fwdMarks[m.Sender]+1 {
+				next = f
+				delete(held, s)
+				break
+			}
+		}
+		if next == nil {
+			return
+		}
+		p.acceptForward(next, now)
+	}
+}
+
+// acceptForward admits one forward frame against the sender's watermark:
+// chunks at or below it are dropped as duplicates, a frame strictly ahead
+// of it is parked in fwdHeld, and the in-order remainder is sequenced.
+// Returns whether the watermark advanced.
+func (p *Processor) acceptForward(m *forwardMsg, now time.Time) bool {
+	wm := p.fwdMarks[m.Sender]
+	if m.Start > wm+1 {
+		held := p.fwdHeld[m.Sender]
+		if held == nil {
+			held = make(map[uint64]*forwardMsg)
+			p.fwdHeld[m.Sender] = held
+		}
+		if len(held) < maxHeldForwards {
+			held[m.Start] = m
+		}
+		return false
+	}
+	skip := 0
+	if wm >= m.Start {
+		skip = int(wm - m.Start + 1)
+	}
+	if skip >= len(m.Chunks) {
+		return false
+	}
+	p.fwdMarks[m.Sender] = m.Start + uint64(len(m.Chunks)) - 1
+	foreground := false
+	for _, f := range m.Flags[skip:] {
+		if f&fwdFlagBackground == 0 {
+			foreground = true
+		}
+	}
+	p.sequenceForwarded(m.Chunks[skip:], now, foreground)
+	return true
+}
+
+// sequenceForwarded stamps and multicasts chunks the fast-path leader
+// accepted from a follower, packing sub-MTU chunks exactly like the
+// token-visit path.
+func (p *Processor) sequenceForwarded(chunks []chunk, now time.Time, foreground bool) {
+	mtu := p.tr.MTU()
+	for start := 0; start < len(chunks); {
+		end := start + 1
+		size := packedFrameOverhead + len(p.ring.Rep) + chunks[start].wireCost()
+		if p.packing {
+			for end < len(chunks) && size+chunks[end].wireCost() <= mtu {
+				size += chunks[end].wireCost()
+				end++
+			}
+		}
+		p.seqHigh++
+		// Chunk payloads alias the forward packet's buffer, exactly as
+		// handleData's stored frames alias theirs.
+		frame := &dataMsg{Ring: p.ring, Seq: p.seqHigh, Chunks: chunks[start:end]}
+		start = end
+		p.store[frame.Seq] = frame
+		p.bcastMsg(frame)
+		p.nChunks.Add(uint64(len(frame.Chunks)))
+		p.nDataFrames.Add(1)
+		p.nFastChunks.Add(uint64(len(frame.Chunks)))
+		if len(frame.Chunks) > 1 {
+			p.nPacked.Add(uint64(len(frame.Chunks)))
+		}
+	}
+	if foreground {
+		p.lastActivityAt = now
+	}
+	p.advanceAru()
 }
 
 // pendingView is a view change waiting for its stream position.
@@ -941,6 +1419,20 @@ func (p *Processor) deliverMsg(m *dataMsg) {
 func (p *Processor) deliverChunk(seq uint64, c *chunk) {
 	if c.FragTotal == 0 {
 		return // malformed chunk; a wire frame never carries one
+	}
+	if c.Sender == p.addr {
+		// Fast-path followers keep submitted chunks pending until their
+		// sequenced copies come back; deliveries arrive in forward order,
+		// so each own delivery acknowledges the pending head. Chunks the
+		// classic path sequenced were popped at send time and never match.
+		if head, ok := p.pending.Peek(); ok && head.MsgID == c.MsgID && head.FragIdx == c.FragIdx {
+			p.pending.Pop()
+			p.headFseq++
+			if p.fwdCount > 0 {
+				p.fwdCount--
+			}
+			p.mPending.Set(int64(p.pending.Len()))
+		}
 	}
 	if c.FragTotal == 1 {
 		p.observeOwn(c)
@@ -1022,6 +1514,8 @@ func (p *Processor) enterGather(now time.Time, reason string) {
 	p.aliveKey = ""
 	p.lastSentToken = nil
 	p.parkedToken = nil
+	p.hurried = false
+	p.fastPath = false
 	p.sendJoin(now)
 }
 
@@ -1108,6 +1602,23 @@ func (p *Processor) installRing(f *formMsg, now time.Time) {
 	p.lastSentToken = nil
 	p.parkedToken = nil
 	p.lastAnnounceAt = now
+	p.lastActivityAt = now
+	p.hurried = false
+	p.lastPaceTicks = 0
+	// Fast-path fallback on view change: mode and leadership are fixed
+	// per ring, the forward window restarts from scratch, and chunks
+	// still pending (forwarded but not yet sequenced, or never forwarded)
+	// drain through whichever path the new ring uses. A chunk the old
+	// leader sequenced whose delivery is still in flight can be sequenced
+	// a second time this way; the replication layer's duplicate filter
+	// absorbs it (see DESIGN.md).
+	p.fastPath = p.cfg.FastPath.enabled(len(p.members))
+	p.leader = f.Ring.Rep
+	p.headFseq = 1
+	p.fwdCount = 0
+	p.lastFwdAt = time.Time{}
+	p.fwdMarks = make(map[string]uint64)
+	p.fwdHeld = make(map[string]map[uint64]*forwardMsg)
 	p.miss = make(map[uint64]int)
 	if f.Ring.Epoch > p.maxEpoch {
 		p.maxEpoch = f.Ring.Epoch
@@ -1215,8 +1726,25 @@ func (p *Processor) onTick(now time.Time) {
 		}
 		p.tryFormRing(now)
 	case stateOperational:
+		// The representative's beacon must fire even while the token is
+		// parked: a long-paced ring (idle single member, deep backoff)
+		// still has to be discoverable for partition merges.
+		if p.ring.Rep == p.addr && now.Sub(p.lastAnnounceAt) >= p.cfg.AnnounceInterval {
+			p.lastAnnounceAt = now
+			ann := announceMsg{Ring: p.ring}
+			p.bcastMsg(&ann)
+		}
+		if p.fastPath && p.addr != p.leader && p.pending.Len() > 0 &&
+			now.Sub(p.lastFwdAt) >= p.cfg.TokenResend {
+			// Forward retry, cumulative from the un-acknowledged head so
+			// the leader's in-order window can fill any gap a lost
+			// forward frame left.
+			p.forwardPending(now, 0)
+		}
 		if p.parkedToken != nil {
-			p.releaseParked(now)
+			if !now.Before(p.parkedUntil) {
+				p.releaseParked(now)
+			}
 			return
 		}
 		if now.Sub(p.lastTokenAt) > p.cfg.TokenLossTimeout {
@@ -1227,11 +1755,6 @@ func (p *Processor) onTick(now time.Time) {
 			p.tokenResends++
 			p.lastSentAt = now
 			p.sendMsg(p.successor(), p.lastSentToken)
-		}
-		if p.ring.Rep == p.addr && now.Sub(p.lastAnnounceAt) >= p.cfg.AnnounceInterval {
-			p.lastAnnounceAt = now
-			ann := announceMsg{Ring: p.ring}
-			p.bcastMsg(&ann)
 		}
 	}
 }

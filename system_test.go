@@ -88,6 +88,18 @@ func (r *register) SetState(st eternal.Any) error {
 }
 
 func fastSystem(t *testing.T, nodes ...string) *eternal.System {
+	return fastSystemMode(t, totem.FastPathAuto, nodes...)
+}
+
+// classicSystem pins the leader fast path off, for tests that assert
+// classic token-ordered timing decompositions (e.g. a recovery wait that
+// contains the donor's capture because the recovering sender self-delivers
+// at sequencing time).
+func classicSystem(t *testing.T, nodes ...string) *eternal.System {
+	return fastSystemMode(t, totem.FastPathOff, nodes...)
+}
+
+func fastSystemMode(t *testing.T, fp totem.FastPathMode, nodes ...string) *eternal.System {
 	t.Helper()
 	sys, err := eternal.NewSystem(eternal.SystemConfig{
 		Nodes: nodes,
@@ -96,6 +108,7 @@ func fastSystem(t *testing.T, nodes ...string) *eternal.System {
 			JoinInterval:     10 * time.Millisecond,
 			StableFor:        20 * time.Millisecond,
 			Tick:             time.Millisecond,
+			FastPath:         fp,
 		},
 		ManagerTick:    10 * time.Millisecond,
 		DefaultTimeout: 20 * time.Second,
