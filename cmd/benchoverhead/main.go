@@ -32,6 +32,7 @@ import (
 	"eternal"
 	"eternal/internal/cdr"
 	"eternal/internal/orb"
+	"eternal/internal/scenario"
 	"eternal/internal/simnet"
 	"eternal/internal/totem"
 )
@@ -89,10 +90,15 @@ func main() {
 	cliffJSON := flag.String("cliff-json", "", "run the 2-way replication-cliff bench (leader fast path vs classic token rotation vs unreplicated baseline) and write it to this file (e.g. BENCH_8.json)")
 	maxCliffRatio := flag.Float64("max-cliff-ratio", 5,
 		"fail the -cliff-json run if the 2-way fast-path response time exceeds this multiple of the unreplicated TCP baseline")
+	chaosJSON := flag.String("chaos-json", "", "run the E12 chaos scenario suite (every registered scenario, quick and soak tiers) and write per-scenario pass/latency/recovery-epoch results to this file (e.g. BENCH_9.json); exits non-zero after writing if any scenario failed")
 	flag.Parse()
 
 	if *recoveryJSON != "" {
 		runRecoverySweep(*recoveryJSON)
+		return
+	}
+	if *chaosJSON != "" {
+		runChaosBench(*chaosJSON)
 		return
 	}
 	if *cliffJSON != "" {
@@ -142,6 +148,46 @@ func main() {
 			"configurations": rows,
 			"sustained":      sustained,
 		})
+	}
+}
+
+// runChaosBench is the -chaos-json mode: it executes every registered
+// chaos scenario (internal/scenario) — quick and soak tiers alike —
+// and records per-scenario pass/fail, write-latency quantiles and
+// recovery-epoch counts as BENCH_9.json. Failure seeds are embedded in
+// the failure strings, so the artifact alone suffices to replay a bad
+// run. The JSON is written before the process exits non-zero, so CI
+// can upload it from a failed job.
+func runChaosBench(path string) {
+	fmt.Println("§E12 chaos scenario suite — convergence oracles under scripted faults")
+	fmt.Printf("%-20s %5s %6s %9s %8s %9s %9s %7s %8s\n",
+		"scenario", "nodes", "pass", "acked", "retries", "p50 ms", "p95 ms", "epochs", "secs")
+	var rows []*scenario.Result
+	failed := 0
+	for _, sc := range scenario.All() {
+		res, err := scenario.Run(sc, scenario.Config{})
+		if err != nil {
+			log.Fatalf("chaos scenario %s (seed %d) could not run: %v", sc.Name, sc.Seed, err)
+		}
+		rows = append(rows, res)
+		fmt.Printf("%-20s %5d %6v %9d %8d %9.2f %9.2f %7d %8.1f\n",
+			res.Scenario, res.Nodes, res.Pass, res.WritesAcked, res.WriteRetries,
+			res.WriteP50Ms, res.WriteP95Ms, res.MaxRecoveryEpochs, res.ElapsedMs/1000)
+		if !res.Pass {
+			failed++
+			for _, f := range res.Failures {
+				fmt.Printf("    FAIL %s\n", f)
+			}
+		}
+	}
+	writeJSON(path, map[string]any{
+		"benchmark": "e12_chaos_scenarios",
+		"generated": time.Now().UTC().Format(time.RFC3339),
+		"scenarios": rows,
+	})
+	if failed > 0 {
+		log.Fatalf("%d of %d chaos scenarios failed; replay seeds are embedded in the failure strings in %s",
+			failed, len(rows), path)
 	}
 }
 

@@ -236,6 +236,14 @@ func (n *Node) streamTransfer(x outboundXfer) {
 // it cached, so exactly one node answers; the response is a multicast, so
 // every assembling receiver benefits.
 func (n *Node) handleStateRetransmit(env *replication.Envelope) {
+	if hook, ok := n.chunkHook.Load().(func(*replication.Envelope) bool); ok && hook != nil {
+		// The test filter also covers NAKs, so asymmetric-partition
+		// recovery (chunks arrive, retransmit requests never do) is
+		// reproducible at the replication layer.
+		if !hook(env) {
+			return
+		}
+	}
 	idx, err := recovery.DecodeIndexList(env.Payload)
 	if err != nil || len(idx) == 0 {
 		return
@@ -471,9 +479,10 @@ func (n *Node) sweepXfers(now time.Time) {
 }
 
 // setChunkHook installs a test-only filter consulted for every received
-// KStateChunk before assembly: returning false drops the chunk; the hook
-// may mutate the envelope payload to simulate corruption. Pass nil to
-// remove.
+// KStateChunk before assembly and every received KStateRetransmit before
+// the donor serves it (distinguish by env.Kind): returning false drops
+// the message; the hook may mutate the envelope payload to simulate
+// corruption. Pass nil to remove.
 func (n *Node) setChunkHook(hook func(*replication.Envelope) bool) {
 	n.chunkHook.Store(hook)
 }

@@ -311,6 +311,112 @@ func TestMidTransferRestart(t *testing.T) {
 	}
 }
 
+// TestAsymmetricNakDropFreshXferRestart reproduces recovery under an
+// asymmetric partition: the recovering replica receives the donor's
+// chunk stream (one chunk short), but its retransmit requests never
+// reach the donor — the NAK direction of the link is dead. The replica
+// must not hang half-cured: after the 8×250ms NAK budget it abandons
+// the transfer (EventStateAbort), removes its own member so the
+// Resource Manager relaunches it, and the second transfer — under a
+// fresh xfer id, after the link healed — completes the recovery.
+func TestAsymmetricNakDropFreshXferRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out the full retransmit budget (~2s)")
+	}
+	c := newXferCluster(t, 16<<10, func(cfg *Config) {
+		cfg.StateChunkBytes = 2048
+	}, "n1", "n2")
+	createBlobGroup(t, c, "blob", 2, "n1", "n2")
+	obj := c.client("n1", "driver", "blob")
+	ping(t, obj)
+
+	var mu sync.Mutex
+	var firstXfer uint64
+	seeFirst := func(env *replication.Envelope) uint64 {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstXfer == 0 && env.Kind == replication.KStateChunk {
+			firstXfer = env.XferID
+		}
+		return firstXfer
+	}
+	// Receiver side: lose one chunk of the first transfer, so the
+	// assembly must NAK for it.
+	var chunkDropped bool
+	c.nodes["n2"].setChunkHook(func(env *replication.Envelope) bool {
+		first := seeFirst(env)
+		if env.Kind == replication.KStateChunk && env.XferID == first && env.OpID == 3 {
+			mu.Lock()
+			defer mu.Unlock()
+			if !chunkDropped {
+				chunkDropped = true
+				return false
+			}
+		}
+		return true
+	})
+	// Donor side: the first transfer's NAKs are swallowed before the
+	// donor can serve them — the asymmetric half of the partition.
+	c.nodes["n1"].setChunkHook(func(env *replication.Envelope) bool {
+		first := seeFirst(env)
+		return !(env.Kind == replication.KStateRetransmit && env.XferID == first)
+	})
+
+	if err := c.nodes["n2"].KillReplica("blob", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The abort takes xferMaxRetries × xferRetryInterval ≈ 2s; then the
+	// Resource Manager re-adds the member and the clean second transfer
+	// brings it back.
+	if err := c.nodes["n2"].AwaitRecovered("blob", "n2", 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	starved := firstXfer
+	mu.Unlock()
+	if starved == 0 {
+		t.Fatal("no transfer was observed")
+	}
+	naks := 0
+	aborted := false
+	freshManifest := false
+	for _, ev := range c.nodes["n2"].Events(0, 0) {
+		if ev.Group != "blob" {
+			continue
+		}
+		switch ev.Type {
+		case obs.EventStateNak:
+			if ev.XferID == starved {
+				naks++
+			}
+		case obs.EventStateAbort:
+			if ev.XferID == starved {
+				aborted = true
+			}
+		case obs.EventSetState:
+			if ev.XferID != starved {
+				freshManifest = true
+			}
+		}
+	}
+	if naks < xferMaxRetries {
+		t.Errorf("recorded %d NAKs for the starved transfer, want the full budget of %d", naks, xferMaxRetries)
+	}
+	if !aborted {
+		t.Error("no state-abort event: the half-cured replica hung instead of giving up")
+	}
+	if !freshManifest {
+		t.Error("no manifest under a fresh xfer id: recovery did not restart cleanly")
+	}
+	// The recovered replica must serve: fail n1 over and ask n2's copy.
+	if err := c.nodes["n1"].KillReplica("blob", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := ping(t, obj); got != 2 {
+		t.Fatalf("ping after failover = %d, want 2", got)
+	}
+}
+
 // TestCheckpointEveryN drives a warm-passive group whose time-based
 // checkpoint interval would never fire within the test; the every-N
 // message trigger alone must schedule checkpoints.

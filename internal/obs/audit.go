@@ -596,13 +596,21 @@ func (c *AuditCollector) Summary() AuditSummary {
 type AuditEpochRow struct {
 	Group string
 	Epoch uint64
-	// Digests maps reporting node -> digest.
+	// Digests maps reporting node -> consensus digest: when scraped
+	// feeds disagree about a member (Conflicted), the digest most
+	// feeds reported wins, ties broken toward the smallest value, so
+	// the published row does not depend on feed iteration order.
 	Digests map[string]uint32
-	// Diverged: two members reported different digests for this epoch.
+	// Diverged: two members reported different digests for this epoch
+	// under every consistent reading of the feeds — their candidate
+	// digest sets share no value. A member whose digest merely differs
+	// across feeds (a stale scrape from a partitioned minority, say)
+	// raises Conflicted alone, never a false divergence.
 	Diverged bool
 	// Conflicted: two scraped feeds disagree about one member's digest
 	// for this epoch — a scrape- or transport-level inconsistency, which
-	// the total order should make impossible.
+	// the total order should make impossible on a healthy medium (a
+	// partitioned minority's stale feed is the benign cause).
 	Conflicted bool
 }
 
@@ -616,33 +624,57 @@ func MergeAudits(feeds map[string][]AuditObservation) []AuditEpochRow {
 		group string
 		epoch uint64
 	}
-	rows := make(map[key]*AuditEpochRow)
+	// Per (group, epoch, member): every digest any feed reported, with
+	// its observation count — the member's candidate set.
+	cand := make(map[key]map[string]map[uint32]int)
 	for _, feed := range feeds {
 		for _, o := range feed {
 			k := key{o.Group, o.Epoch}
-			row, ok := rows[k]
+			members, ok := cand[k]
 			if !ok {
-				row = &AuditEpochRow{Group: o.Group, Epoch: o.Epoch, Digests: make(map[string]uint32)}
-				rows[k] = row
+				members = make(map[string]map[uint32]int)
+				cand[k] = members
 			}
-			if prev, seen := row.Digests[o.Node]; seen && prev != o.Digest {
-				row.Conflicted = true
+			digests, ok := members[o.Node]
+			if !ok {
+				digests = make(map[uint32]int)
+				members[o.Node] = digests
 			}
-			row.Digests[o.Node] = o.Digest
+			digests[o.Digest]++
 		}
 	}
-	out := make([]AuditEpochRow, 0, len(rows))
-	for _, row := range rows {
-		first := true
-		var d0 uint32
-		for _, d := range row.Digests {
-			if first {
-				d0, first = d, false
-			} else if d != d0 {
-				row.Diverged = true
+	out := make([]AuditEpochRow, 0, len(cand))
+	for k, members := range cand {
+		row := AuditEpochRow{Group: k.group, Epoch: k.epoch, Digests: make(map[string]uint32, len(members))}
+		sets := make([]map[uint32]int, 0, len(members))
+		for node, digests := range members {
+			if len(digests) > 1 {
+				row.Conflicted = true
+			}
+			// Publish the consensus digest: most observations win,
+			// ties break toward the smallest value, so the row is
+			// independent of feed iteration order.
+			bestN := -1
+			var best uint32
+			for d, n := range digests {
+				if n > bestN || (n == bestN && d < best) {
+					best, bestN = d, n
+				}
+			}
+			row.Digests[node] = best
+			sets = append(sets, digests)
+		}
+		// Two members diverge only when no consistent reading of the
+		// feeds can reconcile them: their candidate sets are disjoint.
+		for i := 0; i < len(sets) && !row.Diverged; i++ {
+			for j := i + 1; j < len(sets); j++ {
+				if disjointDigests(sets[i], sets[j]) {
+					row.Diverged = true
+					break
+				}
 			}
 		}
-		out = append(out, *row)
+		out = append(out, row)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Group != out[j].Group {
@@ -651,4 +683,13 @@ func MergeAudits(feeds map[string][]AuditObservation) []AuditEpochRow {
 		return out[i].Epoch < out[j].Epoch
 	})
 	return out
+}
+
+func disjointDigests(a, b map[uint32]int) bool {
+	for d := range a {
+		if _, ok := b[d]; ok {
+			return false
+		}
+	}
+	return true
 }

@@ -285,3 +285,111 @@ func TestMergeAudits(t *testing.T) {
 		t.Fatalf("h row = %+v", rows[2])
 	}
 }
+
+// TestMergeAuditsPartitionedMinorityFeed covers merging with feeds
+// scraped from an isolated minority: a member whose digest differs
+// BETWEEN feeds (the isolated node's stale view of itself vs the
+// majority's) must surface as a feed conflict, never as a false
+// divergence — divergence is reserved for members whose candidate
+// digest sets cannot be reconciled under any reading of the feeds.
+func TestMergeAuditsPartitionedMinorityFeed(t *testing.T) {
+	feeds := map[string][]AuditObservation{
+		// Majority nodes agree: a, b and c all digest 5 at epoch 30.
+		"maj1": {obsAt("g", "a", 30, 5), obsAt("g", "b", 30, 5), obsAt("g", "c", 30, 5)},
+		"maj2": {obsAt("g", "a", 30, 5), obsAt("g", "b", 30, 5), obsAt("g", "c", 30, 5)},
+		// The isolated node's scrape has a stale digest for itself
+		// at the same epoch (recorded while cut off).
+		"iso": {obsAt("g", "c", 30, 9)},
+	}
+	rows := MergeAudits(feeds)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	row := rows[0]
+	if !row.Conflicted {
+		t.Errorf("stale minority feed must flag a conflict: %+v", row)
+	}
+	if row.Diverged {
+		t.Errorf("feed conflict about one member must not read as member divergence: %+v", row)
+	}
+	// The consensus digest is the majority's, not whichever feed the
+	// map iterated last.
+	if row.Digests["c"] != 5 {
+		t.Errorf("Digests[c] = %d, want the 2-feed majority digest 5", row.Digests["c"])
+	}
+}
+
+// TestMergeAuditsPartialMinorityFeed: a minority node that simply
+// missed epochs (partial feed) must not poison the merge — rows it
+// covers merge cleanly, rows it missed stay clean without it.
+func TestMergeAuditsPartialMinorityFeed(t *testing.T) {
+	feeds := map[string][]AuditObservation{
+		"maj1": {
+			obsAt("g", "a", 10, 1), obsAt("g", "b", 10, 1),
+			obsAt("g", "a", 20, 2), obsAt("g", "b", 20, 2),
+		},
+		"maj2": {
+			obsAt("g", "a", 10, 1), obsAt("g", "b", 10, 1),
+			obsAt("g", "a", 20, 2), obsAt("g", "b", 20, 2),
+		},
+		// The minority node rejoined late: it only has epoch 20.
+		"iso": {obsAt("g", "a", 20, 2), obsAt("g", "b", 20, 2)},
+	}
+	for i, row := range MergeAudits(feeds) {
+		if row.Diverged || row.Conflicted {
+			t.Errorf("row %d flagged despite consistent partial feeds: %+v", i, row)
+		}
+		if len(row.Digests) != 2 {
+			t.Errorf("row %d digests = %+v, want both members", i, row.Digests)
+		}
+	}
+}
+
+// TestMergeAuditsGenuineDivergenceStillFlagged: when every feed agrees
+// about each member but the members disagree among themselves, that is
+// real state divergence, with no conflict.
+func TestMergeAuditsGenuineDivergenceStillFlagged(t *testing.T) {
+	feeds := map[string][]AuditObservation{
+		"n1": {obsAt("g", "a", 40, 5), obsAt("g", "b", 40, 8)},
+		"n2": {obsAt("g", "a", 40, 5), obsAt("g", "b", 40, 8)},
+	}
+	rows := MergeAudits(feeds)
+	if len(rows) != 1 || !rows[0].Diverged || rows[0].Conflicted {
+		t.Fatalf("rows = %+v, want exactly one diverged, unconflicted row", rows)
+	}
+}
+
+// TestMergeAuditsDeterministic: merging the same feeds repeatedly must
+// produce identical rows — the consensus pick may not depend on map
+// iteration order (the scenario harness compares runs by these rows).
+func TestMergeAuditsDeterministic(t *testing.T) {
+	feeds := map[string][]AuditObservation{
+		"n1": {obsAt("g", "a", 30, 5), obsAt("g", "b", 30, 5), obsAt("g", "c", 30, 5)},
+		"n2": {obsAt("g", "a", 30, 5), obsAt("g", "b", 30, 5), obsAt("g", "c", 30, 5)},
+		"n3": {obsAt("g", "c", 30, 9)},
+		// A pure 1-vs-1 tie about d's digest: smaller value must win.
+		"n4": {obsAt("g", "d", 30, 7)},
+		"n5": {obsAt("g", "d", 30, 3)},
+	}
+	base := MergeAudits(feeds)
+	if got := base[0].Digests["d"]; got != 3 {
+		t.Fatalf("tie-break published %d for d, want the smallest digest 3", got)
+	}
+	for i := 0; i < 50; i++ {
+		rows := MergeAudits(feeds)
+		if len(rows) != len(base) {
+			t.Fatalf("iteration %d: %d rows, want %d", i, len(rows), len(base))
+		}
+		for j := range rows {
+			if rows[j].Diverged != base[j].Diverged || rows[j].Conflicted != base[j].Conflicted {
+				t.Fatalf("iteration %d row %d flags changed: %+v vs %+v", i, j, rows[j], base[j])
+			}
+			for n, d := range rows[j].Digests {
+				if base[j].Digests[n] != d {
+					t.Fatalf("iteration %d row %d digest for %s changed: %d vs %d",
+						i, j, n, d, base[j].Digests[n])
+				}
+			}
+		}
+	}
+}

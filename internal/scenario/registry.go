@@ -1,0 +1,195 @@
+package scenario
+
+import "time"
+
+// All returns the registered chaos scenarios, quick ones first. The
+// quick tier runs in the ordinary test suite; scenarios marked Short
+// also run under `go test -short`; scenarios marked Soak only run in
+// the dedicated chaos CI job (build tag `soak`), where the full suite
+// is executed twice to check schedule and outcome determinism.
+func All() []Scenario {
+	return []Scenario{
+		{
+			Name:     "kill-recover-10",
+			Desc:     "10-node ring, one replica host killed and restarted under load; re-replication and state transfer must converge",
+			Nodes:    10,
+			Replicas: 3,
+			Seed:     901,
+			Short:    true,
+			Phases: []Phase{{
+				Name:   "churn",
+				Writes: 25,
+				Steps: []Step{
+					{Kind: StepKill},
+					{Kind: StepRestart, At: 1200 * time.Millisecond},
+				},
+			}},
+		},
+		{
+			Name:     "slow-member-10",
+			Desc:     "10-node ring with one member's links slowed; no reformation, no divergence, load sustained",
+			Nodes:    10,
+			Replicas: 3,
+			Seed:     902,
+			Short:    true,
+			Phases: []Phase{{
+				Name:   "molasses",
+				Writes: 25,
+				Steps: []Step{
+					{Kind: StepSlow, Latency: 3 * time.Millisecond},
+				},
+			}},
+		},
+		{
+			Name:     "asym-partition-16",
+			Desc:     "16-node ring under sustained load through an asymmetric partition (victim hears the cluster, cluster never hears the victim) and heal",
+			Nodes:    16,
+			Replicas: 5,
+			Seed:     903,
+			Phases: []Phase{
+				{
+					Name:   "deaf",
+					Writes: 35,
+					Split:  true,
+					Steps: []Step{
+						{Kind: StepAsym},
+						{Kind: StepHeal, At: 2200 * time.Millisecond},
+					},
+				},
+				{
+					// The post-heal window must be divergence-free.
+					Name:   "steady",
+					Writes: 25,
+				},
+			},
+		},
+		{
+			Name:     "sym-partition-12",
+			Desc:     "12-node ring symmetrically split (3-node minority severed) and healed under load",
+			Nodes:    12,
+			Replicas: 5,
+			Seed:     904,
+			Phases: []Phase{
+				{
+					Name:   "split",
+					Writes: 35,
+					Split:  true,
+					Steps: []Step{
+						{Kind: StepPartition, Minority: 3},
+						{Kind: StepHeal, At: 2 * time.Second},
+					},
+				},
+				{
+					Name:   "steady",
+					Writes: 25,
+				},
+			},
+		},
+		{
+			Name:     "rolling-restart-12",
+			Desc:     "12-node ring, three replica hosts restarted one at a time under load, each waiting for re-stabilization",
+			Nodes:    12,
+			Replicas: 4,
+			Seed:     905,
+			Soak:     true,
+			Phases: []Phase{{
+				Name:   "rolling",
+				Writes: 50,
+				Steps: []Step{
+					{Kind: StepRolling, Count: 3},
+				},
+			}},
+		},
+		{
+			Name:     "flapping-link-14",
+			Desc:     "14-node ring with 2% global frame loss and a non-adjacent link flapping; retransmission machinery must absorb it without reformation",
+			Nodes:    14,
+			Replicas: 5,
+			Seed:     906,
+			Soak:     true,
+			Phases: []Phase{{
+				Name:   "flappy",
+				Writes: 40,
+				Steps: []Step{
+					{Kind: StepLoss, At: 200 * time.Millisecond, Loss: 0.02},
+					{Kind: StepFlap, At: 400 * time.Millisecond, Count: 6},
+				},
+			}},
+		},
+		{
+			Name:     "mixed-soak-24",
+			Desc:     "24-node soak: crash churn, then an asymmetric partition, then degraded-medium load, converging after every phase",
+			Nodes:    24,
+			Replicas: 5,
+			Seed:     907,
+			Soak:     true,
+			Phases: []Phase{
+				{
+					Name:   "churn",
+					Writes: 50,
+					Steps: []Step{
+						{Kind: StepKill},
+						{Kind: StepKill},
+						{Kind: StepRestart},
+						{Kind: StepRestart},
+					},
+				},
+				{
+					Name:   "deaf",
+					Writes: 50,
+					Split:  true,
+					Steps: []Step{
+						{Kind: StepAsym},
+						{Kind: StepHeal, At: 2200 * time.Millisecond},
+					},
+				},
+				{
+					Name:   "degrade",
+					Writes: 50,
+					Steps: []Step{
+						{Kind: StepSlow, Latency: 2 * time.Millisecond},
+						{Kind: StepFlap, Count: 4},
+					},
+				},
+			},
+		},
+		{
+			Name:     "large-ring-32",
+			Desc:     "32-node large-ring soak: symmetric 4-node split and heal, then crash churn with a slowed member",
+			Nodes:    32,
+			Replicas: 7,
+			Seed:     908,
+			Soak:     true,
+			Phases: []Phase{
+				{
+					Name:   "split",
+					Writes: 60,
+					Split:  true,
+					Steps: []Step{
+						{Kind: StepPartition, Minority: 4},
+						{Kind: StepHeal, At: 2500 * time.Millisecond},
+					},
+				},
+				{
+					Name:   "churn",
+					Writes: 50,
+					Steps: []Step{
+						{Kind: StepKill},
+						{Kind: StepSlow, Latency: 2 * time.Millisecond},
+						{Kind: StepRestart, At: 2 * time.Second},
+					},
+				},
+			},
+		},
+	}
+}
+
+// ByName looks a registered scenario up.
+func ByName(name string) (Scenario, bool) {
+	for _, sc := range All() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}

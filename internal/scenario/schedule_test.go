@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestRenderDeterministic is the seed-replay guarantee: rendering any
+// registered scenario twice from the same seed must produce the
+// identical fault schedule — same step sequence, same victims, same
+// timestamps. This is what makes the seed printed by a failing run
+// sufficient to replay it.
+func TestRenderDeterministic(t *testing.T) {
+	for _, sc := range All() {
+		a, err := Render(sc, sc.Seed)
+		if err != nil {
+			t.Fatalf("render %s: %v", sc.Name, err)
+		}
+		b, err := Render(sc, sc.Seed)
+		if err != nil {
+			t.Fatalf("render %s (second): %v", sc.Name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			aj, _ := json.Marshal(a)
+			bj, _ := json.Marshal(b)
+			t.Errorf("scenario %s seed %d: two renders differ (replay with this seed to debug)\nfirst:  %s\nsecond: %s",
+				sc.Name, sc.Seed, aj, bj)
+		}
+	}
+}
+
+// TestRenderSeedSensitivity: a different seed must be able to change
+// the drawn victims (otherwise the PRNG is not actually wired in).
+func TestRenderSeedSensitivity(t *testing.T) {
+	sc, ok := ByName("kill-recover-10")
+	if !ok {
+		t.Fatal("kill-recover-10 not registered")
+	}
+	base, err := Render(sc, sc.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := sc.Seed + 1; seed < sc.Seed+64; seed++ {
+		s, err := Render(sc, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Phases[0].Actions[0].Node != base.Phases[0].Actions[0].Node {
+			return // a different victim was drawn
+		}
+	}
+	t.Error("64 consecutive seeds drew the identical kill victim; schedule PRNG looks disconnected")
+}
+
+// TestRenderResolvesSteps spot-checks the resolution rules: victims
+// are replica hosts and never the anchor, restart pairs with the kill,
+// partitions exclude the anchor, flap pairs are never ring-adjacent.
+func TestRenderResolvesSteps(t *testing.T) {
+	sc := Scenario{
+		Name: "resolve-check", Nodes: 12, Replicas: 4, Seed: 42,
+		Phases: []Phase{{
+			Name: "p", Writes: 1,
+			Steps: []Step{
+				{Kind: StepKill},
+				{Kind: StepRestart},
+				{Kind: StepPartition, Minority: 3},
+				{Kind: StepFlap},
+			},
+		}},
+	}
+	s, err := Render(sc, sc.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicas := map[string]bool{}
+	for _, r := range s.Replicas {
+		replicas[r] = true
+	}
+	anchor := s.Members[0]
+	acts := s.Phases[0].Actions
+	var kill, restart, part, flap *Action
+	for i := range acts {
+		switch acts[i].Kind {
+		case StepKill:
+			kill = &acts[i]
+		case StepRestart:
+			restart = &acts[i]
+		case StepPartition:
+			part = &acts[i]
+		case StepFlap:
+			flap = &acts[i]
+		}
+	}
+	if kill == nil || restart == nil || part == nil || flap == nil {
+		t.Fatalf("missing rendered actions: %+v", acts)
+	}
+	if !replicas[kill.Node] || kill.Node == anchor {
+		t.Errorf("kill victim %q: want a non-anchor replica host", kill.Node)
+	}
+	if restart.Node != kill.Node {
+		t.Errorf("restart resolved to %q, want the killed node %q", restart.Node, kill.Node)
+	}
+	if len(part.Nodes) != 3 {
+		t.Errorf("partition minority %v, want 3 nodes", part.Nodes)
+	}
+	for _, n := range part.Nodes {
+		if n == anchor {
+			t.Errorf("partition minority %v contains the anchor", part.Nodes)
+		}
+	}
+	if flap.Node == "" || flap.Peer == "" || flap.Node == flap.Peer {
+		t.Errorf("flap pair %q<->%q not resolved", flap.Node, flap.Peer)
+	}
+	for i, m := range s.Members {
+		if m != flap.Node {
+			continue
+		}
+		next := s.Members[(i+1)%len(s.Members)]
+		prev := s.Members[(i+len(s.Members)-1)%len(s.Members)]
+		if flap.Peer == next || flap.Peer == prev {
+			t.Errorf("flap peer %q is ring-adjacent to %q", flap.Peer, flap.Node)
+		}
+	}
+	if a0 := acts[0].At; a0 != 300*time.Millisecond {
+		t.Errorf("first auto-spaced action at %s, want 300ms", a0)
+	}
+}
+
+// TestRenderRejectsInvalid covers the validation edges.
+func TestRenderRejectsInvalid(t *testing.T) {
+	cases := []Scenario{
+		{Name: "tiny", Nodes: 2, Replicas: 2, Phases: []Phase{{Name: "p"}}},
+		{Name: "huge", Nodes: 51, Replicas: 3, Phases: []Phase{{Name: "p"}}},
+		{Name: "all-replicas", Nodes: 5, Replicas: 5, Phases: []Phase{{Name: "p"}}},
+		{Name: "majority-cut", Nodes: 10, Replicas: 3,
+			Phases: []Phase{{Name: "p", Steps: []Step{{Kind: StepPartition, Minority: 5}}}}},
+		{Name: "restart-nothing", Nodes: 10, Replicas: 3,
+			Phases: []Phase{{Name: "p", Steps: []Step{{Kind: StepRestart}}}}},
+		{Name: "unknown-kind", Nodes: 10, Replicas: 3,
+			Phases: []Phase{{Name: "p", Steps: []Step{{Kind: "meteor-strike"}}}}},
+	}
+	for _, sc := range cases {
+		if _, err := Render(sc, 1); err == nil {
+			t.Errorf("scenario %s: Render accepted an invalid script", sc.Name)
+		}
+	}
+}
+
+// TestRegistryShape pins the suite's advertised coverage: ~8 scenarios,
+// a short subset, a soak tier, and at least one ≥16-member ring whose
+// schedule includes an asymmetric partition followed by a heal under a
+// split-marked phase.
+func TestRegistryShape(t *testing.T) {
+	all := All()
+	if len(all) < 8 {
+		t.Fatalf("%d registered scenarios, want >= 8", len(all))
+	}
+	var short, soak, bigAsym int
+	names := map[string]bool{}
+	for _, sc := range all {
+		if names[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+		if sc.Short {
+			short++
+		}
+		if sc.Soak {
+			soak++
+		}
+		s, err := Render(sc, sc.Seed)
+		if err != nil {
+			t.Errorf("render %s: %v", sc.Name, err)
+			continue
+		}
+		if sc.Nodes >= 16 {
+			for _, p := range s.Phases {
+				hasAsym, hasHeal := false, false
+				for _, a := range p.Actions {
+					hasAsym = hasAsym || a.Kind == StepAsym
+					hasHeal = hasHeal || a.Kind == StepHeal
+				}
+				if hasAsym && hasHeal && p.Split {
+					bigAsym++
+				}
+			}
+		}
+	}
+	if short == 0 {
+		t.Error("no Short scenarios: `go test -short` would skip the harness entirely")
+	}
+	if soak == 0 {
+		t.Error("no Soak scenarios: the chaos CI job would have nothing beyond the quick tier")
+	}
+	if bigAsym == 0 {
+		t.Error("no >=16-member scenario drives an asymmetric partition + heal (required coverage)")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -93,6 +94,31 @@ type Packet struct {
 	Payload []byte
 }
 
+// LinkOverride reshapes one directed link src→dst, layered on top of the
+// medium's global parameters. Overrides compose with partitions: a frame
+// travels only when the partition map allows it AND the link does.
+type LinkOverride struct {
+	// Drop discards every frame on the link — a one-way partition
+	// (src's frames never reach dst; the reverse link is unaffected).
+	Drop bool
+	// LossRate is an additional per-link loss probability in [0,1),
+	// applied on top of the global Config.LossRate by the same seeded
+	// PRNG (destinations are drawn in address order, so runs replay).
+	LossRate float64
+	// ExtraLatency delays the link's deliveries beyond the shared-wire
+	// serialization and global propagation latency — a slow or congested
+	// path to one receiver.
+	ExtraLatency time.Duration
+}
+
+// zero reports whether the override changes nothing (ClearLink sugar).
+func (o LinkOverride) zero() bool {
+	return !o.Drop && o.LossRate == 0 && o.ExtraLatency == 0
+}
+
+// linkKey identifies a directed link.
+type linkKey struct{ src, dst string }
+
 // Network is a simulated broadcast segment.
 //
 // All methods are safe for concurrent use.
@@ -102,6 +128,9 @@ type Network struct {
 	mu        sync.Mutex
 	endpoints map[string]*Endpoint
 	partition map[string]int // addr -> partition id; absent means 0
+	links     map[linkKey]LinkOverride
+	isolated  map[string]bool
+	lossRate  float64 // runtime-reconfigurable global loss (Config.LossRate initially)
 	rng       *rand.Rand
 	// wireFree is the earliest time the shared wire is idle again.
 	wireFree time.Time
@@ -120,6 +149,9 @@ func New(cfg Config) *Network {
 		cfg:       cfg,
 		endpoints: make(map[string]*Endpoint),
 		partition: make(map[string]int),
+		links:     make(map[linkKey]LinkOverride),
+		isolated:  make(map[string]bool),
+		lossRate:  cfg.LossRate,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
@@ -168,9 +200,16 @@ func (n *Network) Remove(addr string) {
 	}
 }
 
-// Partition splits the segment: addresses in the same group still hear
-// each other; across groups nothing is delivered. Addresses not mentioned
-// land in group 0. Heal() restores full connectivity.
+// Partition splits the segment into symmetric groups: addresses within
+// one group still hear each other (in both directions); across groups
+// nothing is delivered, broadcast or unicast. Every address NOT named in
+// any group — including endpoints that join later — forms one implicit
+// extra group that keeps communicating among itself, so Partition([a])
+// cuts a off from everyone else while the rest stay connected. Each call
+// replaces the previous partition wholesale (calls do not compose);
+// Heal() restores full connectivity. Partitions are symmetric by
+// construction — for one-way faults use SetLink or Isolate, which compose
+// with (and survive) Partition calls.
 func (n *Network) Partition(groups ...[]string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -182,11 +221,67 @@ func (n *Network) Partition(groups ...[]string) {
 	}
 }
 
-// Heal removes all partitions.
+// SetLink installs (or replaces) the override shaping the directed link
+// src→dst: frames sent by src and addressed to — or broadcast toward —
+// dst are dropped, additionally lossy, or delayed per the override. The
+// reverse link dst→src is untouched, which is what makes asymmetric
+// faults expressible: SetLink(b, a, LinkOverride{Drop: true}) gives
+// "a hears b… nothing" while b still hears a. A zero override clears the
+// link. Takes effect immediately; safe while traffic is in flight.
+func (n *Network) SetLink(src, dst string, o LinkOverride) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	k := linkKey{src, dst}
+	if o.zero() {
+		delete(n.links, k)
+		return
+	}
+	n.links[k] = o
+}
+
+// ClearLink removes the src→dst override, if any.
+func (n *Network) ClearLink(src, dst string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.links, linkKey{src, dst})
+}
+
+// Isolate severs addr from the segment in both directions: nothing it
+// sends is delivered anywhere (loopback aside) and nothing reaches it.
+// Unlike Partition, isolation composes: isolating several addresses cuts
+// each off individually (they do not hear each other either), and the
+// rest of the segment is unaffected. Undo with Unisolate or Heal.
+func (n *Network) Isolate(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.isolated[addr] = true
+}
+
+// Unisolate reconnects a previously isolated address.
+func (n *Network) Unisolate(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.isolated, addr)
+}
+
+// SetLossRate reconfigures the global frame-loss probability at runtime
+// (the flapping-quality-medium knob). Per-link LossRate overrides stack
+// on top of it.
+func (n *Network) SetLossRate(rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lossRate = rate
+}
+
+// Heal restores full connectivity: all partitions, link overrides and
+// isolations are removed. The global loss rate is left as configured
+// (use SetLossRate to change it).
 func (n *Network) Heal() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.partition = make(map[string]int)
+	n.links = make(map[linkKey]LinkOverride)
+	n.isolated = make(map[string]bool)
 }
 
 // transmit schedules one frame from src to the given destinations.
@@ -197,7 +292,7 @@ func (n *Network) transmit(src string, dsts []*Endpoint, payload []byte) time.Du
 	n.bytesOnWire.Add(uint64(wireBytes))
 
 	n.mu.Lock()
-	lost := n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate
+	lost := n.lossRate > 0 && n.rng.Float64() < n.lossRate
 	var delay time.Duration
 	now := time.Now()
 	if n.cfg.BandwidthBps > 0 {
@@ -212,20 +307,41 @@ func (n *Network) transmit(src string, dsts []*Endpoint, payload []byte) time.Du
 	} else {
 		delay = n.cfg.Latency
 	}
+	// Per-link shaping: loss rolls happen here, under the lock and in the
+	// destinations' address order (see destinations), so the PRNG stream —
+	// and with it every seeded replay — stays deterministic. plan groups
+	// the survivors by their extra link latency; with no overrides in
+	// force it stays nil and the fast path below delivers like always.
+	var plan map[time.Duration][]*Endpoint
+	var perLinkLost uint64
+	if !lost && len(n.links) > 0 {
+		plan = make(map[time.Duration][]*Endpoint, 1)
+		for _, ep := range dsts {
+			o := n.links[linkKey{src, ep.addr}]
+			if o.LossRate > 0 && n.rng.Float64() < o.LossRate {
+				perLinkLost++
+				continue
+			}
+			plan[o.ExtraLatency] = append(plan[o.ExtraLatency], ep)
+		}
+	}
 	n.mu.Unlock()
 
 	if lost {
 		n.framesLost.Add(1)
 		return delay
 	}
+	n.framesLost.Add(perLinkLost)
 
-	deliver := func() {
-		pkt := Packet{From: src, Payload: payload}
-		for _, ep := range dsts {
-			if ep.deliver(pkt) {
-				n.framesDelivered.Add(1)
-			} else {
-				n.framesOverrun.Add(1)
+	deliverTo := func(eps []*Endpoint) func() {
+		return func() {
+			pkt := Packet{From: src, Payload: payload}
+			for _, ep := range eps {
+				if ep.deliver(pkt) {
+					n.framesDelivered.Add(1)
+				} else {
+					n.framesOverrun.Add(1)
+				}
 			}
 		}
 	}
@@ -237,10 +353,19 @@ func (n *Network) transmit(src string, dsts []*Endpoint, payload []byte) time.Du
 	// cumulative serialization of a large transfer exceeds the floor and
 	// uses real timers), only the per-frame propagation of lightly loaded
 	// links is optimistic by less than the timer error it avoids.
-	if delay < timerFloor {
-		deliver()
+	schedule := func(d time.Duration, deliver func()) {
+		if d < timerFloor {
+			deliver()
+		} else {
+			time.AfterFunc(d, deliver)
+		}
+	}
+	if plan == nil {
+		schedule(delay, deliverTo(dsts))
 	} else {
-		time.AfterFunc(delay, deliver)
+		for extra, eps := range plan {
+			schedule(delay+extra, deliverTo(eps))
+		}
 	}
 	return delay
 }
@@ -249,30 +374,52 @@ func (n *Network) transmit(src string, dsts []*Endpoint, payload []byte) time.Du
 const timerFloor = 2 * time.Millisecond
 
 // destinations returns live endpoints reachable from src: all in src's
-// partition (for broadcast) or just the named target (for unicast).
+// partition minus dropped links and isolated nodes (for broadcast), or
+// just the named target when reachable (for unicast).
 func (n *Network) destinations(src, to string, broadcast bool) ([]*Endpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, ok := n.endpoints[src]; !ok {
 		return nil, fmt.Errorf("%w: sender %q", ErrUnknownAddr, src)
 	}
-	srcPart := n.partition[src]
 	if broadcast {
 		dsts := make([]*Endpoint, 0, len(n.endpoints))
 		for a, ep := range n.endpoints {
-			if n.partition[a] == srcPart {
+			if n.reachableLocked(src, a) {
 				dsts = append(dsts, ep)
 			}
+		}
+		if len(n.links) > 0 {
+			// Per-link loss rolls in transmit consume the seeded PRNG per
+			// destination; a stable order keeps replays deterministic.
+			sort.Slice(dsts, func(i, j int) bool { return dsts[i].addr < dsts[j].addr })
 		}
 		return dsts, nil
 	}
 	ep, ok := n.endpoints[to]
-	if !ok || n.partition[to] != srcPart {
+	if !ok || !n.reachableLocked(src, to) {
 		// Silently dropped, like a LAN with a dead host: the frame goes on
 		// the wire and nobody picks it up.
 		return nil, nil
 	}
 	return []*Endpoint{ep}, nil
+}
+
+// reachableLocked decides whether a frame from src may reach dst under
+// the current partition, isolation and link-drop state. Loopback to the
+// sender itself is always allowed — an isolated node's NIC still loops
+// its own multicasts back. Caller holds n.mu.
+func (n *Network) reachableLocked(src, dst string) bool {
+	if dst == src {
+		return true
+	}
+	if n.isolated[src] || n.isolated[dst] {
+		return false
+	}
+	if n.partition[dst] != n.partition[src] {
+		return false
+	}
+	return !n.links[linkKey{src, dst}].Drop
 }
 
 // Endpoint is one attached node.
@@ -297,8 +444,9 @@ func (ep *Endpoint) MTU() int { return ep.net.cfg.MTU }
 // the endpoint is removed from the network or Close is called.
 func (ep *Endpoint) Recv() <-chan Packet { return ep.inbox }
 
-// Send transmits one frame to the named address. Sending to an absent or
-// partitioned-away address silently drops the frame (LAN semantics).
+// Send transmits one frame to the named address. Sending to an absent,
+// partitioned-away, isolated, or link-dropped address silently drops the
+// frame (LAN semantics).
 func (ep *Endpoint) Send(to string, payload []byte) error {
 	return ep.send(to, payload, false)
 }

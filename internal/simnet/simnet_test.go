@@ -257,6 +257,136 @@ func TestInboxOverrunCounted(t *testing.T) {
 	t.Fatalf("overruns = %d, want ≥ 8", n.Stats().FramesOverrun)
 }
 
+// TestSetLinkOneWayDrop is the asymmetric-partition primitive: after
+// SetLink(a→b, Drop), a hears b but b never hears a — on broadcast and
+// unicast alike — and the reverse link plus third parties are untouched.
+func TestSetLinkOneWayDrop(t *testing.T) {
+	n := fastNet(t)
+	a, b, c := join(t, n, "a"), join(t, n, "b"), join(t, n, "c")
+	n.SetLink("a", "b", LinkOverride{Drop: true})
+
+	// b → a still flows: a hears b.
+	if err := b.Send("a", []byte("from-b")); err != nil {
+		t.Fatal(err)
+	}
+	if pkt := recvWithin(t, a, time.Second); string(pkt.Payload) != "from-b" {
+		t.Fatalf("payload = %q", pkt.Payload)
+	}
+
+	// a → b is severed: b never hears a, unicast or broadcast.
+	if err := a.Send("b", []byte("unicast")); err != nil {
+		t.Fatal(err)
+	}
+	expectNothing(t, b, 20*time.Millisecond)
+	if err := a.Broadcast([]byte("bcast")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, a, time.Second) // loopback unaffected
+	recvWithin(t, c, time.Second) // third party unaffected
+	expectNothing(t, b, 20*time.Millisecond)
+
+	// ClearLink restores the direction.
+	n.ClearLink("a", "b")
+	if err := a.Send("b", []byte("healed")); err != nil {
+		t.Fatal(err)
+	}
+	if pkt := recvWithin(t, b, time.Second); string(pkt.Payload) != "healed" {
+		t.Fatalf("payload = %q", pkt.Payload)
+	}
+}
+
+func TestIsolateCutsBothDirections(t *testing.T) {
+	n := fastNet(t)
+	a, b, c := join(t, n, "a"), join(t, n, "b"), join(t, n, "c")
+	n.Isolate("b")
+
+	// The rest of the segment is unaffected.
+	if err := a.Broadcast([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, a, time.Second)
+	recvWithin(t, c, time.Second)
+	expectNothing(t, b, 20*time.Millisecond)
+
+	// The isolated node reaches nobody but still hears its own loopback.
+	if err := b.Broadcast([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, b, time.Second)
+	expectNothing(t, a, 20*time.Millisecond)
+	expectNothing(t, c, 20*time.Millisecond)
+
+	// Heal removes the isolation along with everything else.
+	n.Heal()
+	if err := b.Send("a", []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, a, time.Second)
+}
+
+// TestSetLinkLossDeterministic pins the seeded-replay property the
+// scenario harness depends on: per-link loss rolls with the same seed
+// lose the same frames.
+func TestSetLinkLossDeterministic(t *testing.T) {
+	run := func() Stats {
+		n := New(Config{Seed: 7})
+		a := join(t, n, "a")
+		join(t, n, "b")
+		join(t, n, "c")
+		n.SetLink("a", "b", LinkOverride{LossRate: 0.5})
+		for i := 0; i < 200; i++ {
+			if err := a.Broadcast([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return n.Stats()
+	}
+	s1, s2 := run(), run()
+	if s1.FramesLost == 0 || s1.FramesLost == 200 {
+		t.Fatalf("per-link loss rate not applied: %+v", s1)
+	}
+	if s1.FramesLost != s2.FramesLost || s1.FramesDelivered != s2.FramesDelivered {
+		t.Fatalf("per-link loss not deterministic: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestSetLinkExtraLatency delays one link without touching the others.
+func TestSetLinkExtraLatency(t *testing.T) {
+	n := fastNet(t)
+	a, b, c := join(t, n, "a"), join(t, n, "b"), join(t, n, "c")
+	_ = a
+	n.SetLink("a", "b", LinkOverride{ExtraLatency: 60 * time.Millisecond})
+	start := time.Now()
+	if err := a.Broadcast([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, c, time.Second)
+	if fast := time.Since(start); fast > 40*time.Millisecond {
+		t.Fatalf("unshaped link took %v", fast)
+	}
+	recvWithin(t, b, time.Second)
+	if slow := time.Since(start); slow < 50*time.Millisecond {
+		t.Fatalf("shaped link arrived after only %v, want ≥ ~60ms", slow)
+	}
+}
+
+func TestSetLossRateRuntimeReconfig(t *testing.T) {
+	n := fastNet(t)
+	a, b := join(t, n, "a"), join(t, n, "b")
+	n.SetLossRate(1.0)
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	expectNothing(t, b, 20*time.Millisecond)
+	n.SetLossRate(0)
+	if err := a.Send("b", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if pkt := recvWithin(t, b, time.Second); string(pkt.Payload) != "y" {
+		t.Fatalf("payload = %q", pkt.Payload)
+	}
+}
+
 func TestPayloadCopiedAtBoundary(t *testing.T) {
 	n := fastNet(t)
 	a, b := join(t, n, "a"), join(t, n, "b")

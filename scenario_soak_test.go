@@ -1,0 +1,27 @@
+//go:build soak
+
+package eternal_test
+
+import (
+	"testing"
+
+	"eternal/internal/scenario"
+)
+
+// TestChaosSoakScenarios runs the heavy tier of the chaos suite: the
+// large-ring soaks (up to 32 members) behind the `soak` build tag so
+// the tier-1 `go test ./...` path stays fast. The chaos CI job runs
+// the whole suite twice (-count=2) to check that the seeded schedules
+// and oracle outcomes are deterministic:
+//
+//	go test -race -tags soak -run 'TestChaos' -count=2 .
+func TestChaosSoakScenarios(t *testing.T) {
+	for _, sc := range scenario.All() {
+		if !sc.Soak {
+			continue
+		}
+		t.Run(sc.Name, func(t *testing.T) {
+			runScenario(t, sc)
+		})
+	}
+}

@@ -1,0 +1,47 @@
+package eternal_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"eternal/internal/scenario"
+)
+
+// runScenario executes one registered chaos scenario and fails the
+// test with the replay seed on any oracle violation.
+func runScenario(t *testing.T, sc scenario.Scenario) {
+	t.Helper()
+	cfg := scenario.Config{Logf: t.Logf}
+	if os.Getenv("ETERNAL_SCENARIO_ADMIN") != "" {
+		// Serve every node's admin endpoint so `eternalctl status`
+		// and `eternalctl audit` can watch the run live.
+		cfg.ServeAdmin = true
+	}
+	res, err := scenario.Run(sc, cfg)
+	if err != nil {
+		t.Fatalf("scenario %s seed %d: %v", sc.Name, sc.Seed, err)
+	}
+	if !res.Pass {
+		t.Fatalf("scenario %s FAILED — replay by re-running with seed %d (the schedule is a pure function of it):\n%s",
+			sc.Name, res.Seed, strings.Join(res.Failures, "\n"))
+	}
+}
+
+// TestChaosScenarios runs the quick tier of the chaos suite: every
+// registered scenario not marked Soak. Under -short only the scenarios
+// marked Short run; the Soak tier lives in scenario_soak_test.go
+// behind the `soak` build tag (the dedicated chaos CI job).
+func TestChaosScenarios(t *testing.T) {
+	for _, sc := range scenario.All() {
+		if sc.Soak {
+			continue
+		}
+		t.Run(sc.Name, func(t *testing.T) {
+			if testing.Short() && !sc.Short {
+				t.Skipf("quick-tier scenario %s skipped under -short", sc.Name)
+			}
+			runScenario(t, sc)
+		})
+	}
+}
